@@ -1,0 +1,64 @@
+"""Bench: ablations for the design choices DESIGN.md §5 calls out."""
+
+from repro.experiments import ablations
+from repro.experiments.report import format_table
+
+
+def test_ablation_table_depth(benchmark, save_report):
+    rows = benchmark.pedantic(ablations.run_table_depth, rounds=1, iterations=1)
+    by = {row["depth"]: row for row in rows}
+    # Deeper tables cost more references per check.
+    assert by["1-level (flat)"]["checker_refs"] < by["2-level (paper)"]["checker_refs"]
+    assert by["2-level (paper)"]["checker_refs"] < by["3-level"]["checker_refs"]
+    # The flat table is allocated up-front for its whole coverage; the radix
+    # tables grow on demand (their advantage for sparse/large regions).
+    assert by["1-level (flat)"]["cold_cycles"] < by["3-level"]["cold_cycles"]
+    text = format_table(
+        ["depth", "coverage", "total_refs", "checker_refs", "cold_cycles", "table_bytes"],
+        rows,
+        title="Ablation: permission-table depth",
+    )
+    save_report("ablation_table_depth", text)
+    benchmark.extra_info["checker_refs"] = {r["depth"]: r["checker_refs"] for r in rows}
+
+
+def test_ablation_tlb_inlining(benchmark, save_report):
+    rows = benchmark.pedantic(ablations.run_tlb_inlining, rounds=1, iterations=1)
+    by = {row["tlb_inlining"]: float(row["hot_loop_cycles_per_access"]) for row in rows}
+    # Inlining removes the per-hit permission walk entirely.
+    assert by["on"] < by["off"]
+    text = format_table(["tlb_inlining", "hot_loop_cycles_per_access"], rows, title="Ablation: TLB inlining")
+    save_report("ablation_tlb_inlining", text)
+    benchmark.extra_info["speedup"] = round(by["off"] / by["on"], 2)
+
+
+def test_ablation_pmptw_cache_sweep(benchmark, save_report):
+    rows = benchmark.pedantic(ablations.run_pmptw_cache_sweep, rounds=1, iterations=1)
+    by = {row["pmptw_cache_entries"]: float(row["mean_cycles_per_access"]) for row in rows}
+    # More PMPTW-Cache entries never hurt on the fragmented pattern.
+    assert by[32] <= by[0]
+    text = format_table(
+        ["pmptw_cache_entries", "mean_cycles_per_access"], rows, title="Ablation: PMPTW-Cache size"
+    )
+    save_report("ablation_pmptw_cache_sweep", text)
+    benchmark.extra_info["cycles"] = by
+
+
+def test_ablation_hot_range_hints(benchmark, save_report):
+    rows = benchmark.pedantic(ablations.run_hint_ablation, rounds=1, iterations=1)
+    by = {row["configuration"]: float(row["cycles_per_access"]) for row in rows}
+    hinted = by["hot-range hint (segment-checked)"]
+    unhinted = by["no hint (table-checked data)"]
+    assert hinted < unhinted  # the hint removes the data-page table walks
+    text = format_table(["configuration", "cycles_per_access"], rows, title="Ablation: hot-range hints")
+    save_report("ablation_hot_range_hints", text)
+    benchmark.extra_info["speedup"] = round(unhinted / hinted, 3)
+
+
+def test_ablation_cache_style_management(benchmark, save_report):
+    rows = benchmark.pedantic(ablations.run_cache_style_management, rounds=1, iterations=1)
+    by = {row["strategy"]: float(row["relabel_cycles"]) for row in rows}
+    assert by["cache-style (paper)"] <= by["table-rewrite (ablated)"]
+    text = format_table(["strategy", "relabel_cycles"], rows, title="Ablation: cache-style GMS management")
+    save_report("ablation_cache_style", text)
+    benchmark.extra_info["cycles"] = by

@@ -1,0 +1,13 @@
+"""Bench: Figure 2 — reference counts per isolation scheme (4/12/6 on Sv39)."""
+
+from repro.experiments import fig02_counts
+from repro.experiments.report import format_table
+
+
+def test_fig02_reference_counts(benchmark, save_report):
+    rows = benchmark.pedantic(fig02_counts.run, rounds=1, iterations=1)
+    by_mode = {row["mode"]: row for row in rows}
+    assert (by_mode["sv39"]["pmp"], by_mode["sv39"]["pmpt"], by_mode["sv39"]["hpmp"]) == (4, 12, 6)
+    text = format_table(["mode", "pmp", "pmpt", "hpmp"], rows, title="Figure 2: reference counts")
+    save_report("fig02_reference_counts", text)
+    benchmark.extra_info["sv39"] = {k: by_mode["sv39"][k] for k in ("pmp", "pmpt", "hpmp")}

@@ -1,0 +1,21 @@
+"""Bench: Figure 3 — Segment vs Table preview on BOOM (avg / worst)."""
+
+from repro.experiments import fig03_preview
+from repro.experiments.report import format_table
+
+
+def test_fig03_preview(benchmark, save_report):
+    rows = benchmark.pedantic(
+        lambda: fig03_preview.run(machine="boom", gap_scale=10, redis_requests=25),
+        rounds=1,
+        iterations=1,
+    )
+    by_panel = {row["panel"]: row for row in rows}
+    # Table-based isolation must cost latency on the ld path...
+    assert by_panel["ld latency"]["avg"] > 100.0
+    assert by_panel["ld latency"]["worst"] >= by_panel["ld latency"]["avg"]
+    # ...and throughput on Redis (RPS below the segment baseline).
+    assert by_panel["Redis RPS"]["avg"] < 100.0
+    text = format_table(["panel", "segment", "avg", "worst"], rows, title="Figure 3 preview (BOOM)")
+    save_report("fig03_preview", text)
+    benchmark.extra_info["panels"] = {p: round(float(r["avg"]), 1) for p, r in by_panel.items()}

@@ -1,0 +1,25 @@
+"""Bench: Figure 10 — ld/sd latency under TC1-TC4, Rocket and BOOM."""
+
+import pytest
+
+from repro.common.types import AccessType
+from repro.experiments import fig10_latency
+from repro.experiments.report import format_table
+from repro.workloads.microbench import TEST_CASES
+
+
+@pytest.mark.parametrize("machine", ["rocket", "boom"])
+@pytest.mark.parametrize("access,label", [(AccessType.READ, "ld"), (AccessType.WRITE, "sd")])
+def test_fig10_latency(benchmark, save_report, machine, access, label):
+    rows = benchmark.pedantic(lambda: fig10_latency.run(machine, access), rounds=1, iterations=1)
+    by = {row["checker"]: row for row in rows}
+    for case in ("TC1", "TC2", "TC3"):
+        assert by["pmp"][case] < by["hpmp"][case] < by["pmpt"][case]
+    assert by["pmp"]["TC4"] == by["hpmp"]["TC4"] == by["pmpt"]["TC4"]
+    mitigation = fig10_latency.mitigation(rows)
+    # Paper: HPMP mitigates 23.1%-73.1% of the extra-dimensional cost (BOOM).
+    for case in ("TC1", "TC2", "TC3"):
+        assert 15.0 <= mitigation[case] <= 85.0
+    text = format_table(["checker", *TEST_CASES], rows, title=f"Figure 10: {label} latency, {machine}")
+    save_report(f"fig10_{label}_{machine}", text)
+    benchmark.extra_info["mitigation_pct"] = {c: round(v, 1) for c, v in mitigation.items()}

@@ -1,0 +1,32 @@
+"""Bench: Figure 11 — RV8 (Rocket) and GAP (Rocket + BOOM) suites."""
+
+import pytest
+
+from repro.experiments import fig11_suites
+from repro.experiments.report import format_table
+
+
+def test_fig11a_rv8(benchmark, save_report):
+    rows = benchmark.pedantic(lambda: fig11_suites.run_rv8("rocket"), rounds=1, iterations=1)
+    for row in rows:
+        # Compute-bound suites: small overheads, HPMP <= PMPT.
+        assert float(row["hpmp_overhead_%"]) <= float(row["pmpt_overhead_%"]) + 0.5
+        assert float(row["pmpt_overhead_%"]) < 15.0
+    text = format_table(
+        ["program", "pmp", "pmpt", "hpmp", "pmpt_overhead_%", "hpmp_overhead_%"],
+        rows,
+        title="Figure 11-a: RV8 (rocket)",
+    )
+    save_report("fig11a_rv8_rocket", text)
+    benchmark.extra_info["max_pmpt_overhead_pct"] = round(max(float(r["pmpt_overhead_%"]) for r in rows), 2)
+
+
+@pytest.mark.parametrize("machine", ["rocket", "boom"])
+def test_fig11bc_gap(benchmark, save_report, machine):
+    rows = benchmark.pedantic(lambda: fig11_suites.run_gap(machine, scale=11), rounds=1, iterations=1)
+    for row in rows:
+        assert float(row["pmpt"]) >= 100.0
+        assert float(row["hpmp"]) <= float(row["pmpt"]) + 0.2
+    text = format_table(["kernel", "pmp", "pmpt", "hpmp"], rows, title=f"Figure 11: GAP ({machine})")
+    save_report(f"fig11_gap_{machine}", text)
+    benchmark.extra_info["max_pmpt_pct"] = round(max(float(r["pmpt"]) for r in rows), 2)

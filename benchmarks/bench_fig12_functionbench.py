@@ -1,0 +1,34 @@
+"""Bench: Figure 12 a/b — FunctionBench under Penglai-{PMP,PMPT,HPMP}."""
+
+import pytest
+
+from repro.experiments import fig12_apps
+from repro.experiments.report import format_table
+
+
+@pytest.mark.parametrize("machine", ["rocket", "boom"])
+def test_fig12ab_functionbench(benchmark, save_report, machine):
+    rows = benchmark.pedantic(
+        lambda: fig12_apps.run_functionbench_rows(machine, include_host=True),
+        rounds=1,
+        iterations=1,
+    )
+    for row in rows:
+        assert float(row["pmpt"]) >= 100.0
+        assert float(row["hpmp"]) <= float(row["pmpt"])
+        # Secure and non-secure PMP baselines land close together (paper:
+        # "similar results as they both utilize PMP").
+        assert abs(float(row["host-pmp"]) - 100.0) < 25.0
+    avg_pmpt = sum(float(r["pmpt"]) for r in rows) / len(rows)
+    avg_hpmp = sum(float(r["hpmp"]) for r in rows) / len(rows)
+    assert avg_hpmp < avg_pmpt
+    text = format_table(
+        ["function", "pl-pmp_kcycles", "host-pmp", "pl-pmp", "pmpt", "hpmp"],
+        rows,
+        title=f"Figure 12 ({machine}): FunctionBench normalized latency %",
+    )
+    save_report(f"fig12_functionbench_{machine}", text)
+    benchmark.extra_info["avg_overhead_pct"] = {
+        "pmpt": round(avg_pmpt - 100, 2),
+        "hpmp": round(avg_hpmp - 100, 2),
+    }

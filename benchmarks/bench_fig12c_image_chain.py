@@ -1,0 +1,27 @@
+"""Bench: Figure 12-c — chained image-processing application, size sweep."""
+
+from repro.experiments import fig12_apps
+from repro.experiments.report import format_table
+
+
+def test_fig12c_image_chain(benchmark, save_report):
+    rows = benchmark.pedantic(
+        lambda: fig12_apps.run_chain_rows(machine="boom", sizes=(32, 64, 128, 256)),
+        rounds=1,
+        iterations=1,
+    )
+    overheads = [float(r["pl-pmpt"]) - 100.0 for r in rows]
+    # Paper: overhead shrinks as image size grows (compute outgrows cold-start).
+    assert overheads[0] > overheads[-1]
+    for row in rows:
+        assert float(row["pl-hpmp"]) <= float(row["pl-pmpt"])
+    # Absolute latency grows with image size.
+    latencies = [float(r["pl-pmp_kcycles"]) for r in rows]
+    assert latencies == sorted(latencies)
+    text = format_table(
+        ["image_size", "pl-pmp_kcycles", "pl-pmp", "pl-pmpt", "pl-hpmp"],
+        rows,
+        title="Figure 12-c: image chain (boom)",
+    )
+    save_report("fig12c_image_chain", text)
+    benchmark.extra_info["pmpt_overhead_trend_pct"] = [round(o, 2) for o in overheads]

@@ -1,0 +1,44 @@
+"""Bench: Figure 12 d/e — Redis RPS under Penglai-{PMP,PMPT,HPMP}."""
+
+import pytest
+
+from repro.experiments import fig12_apps
+from repro.experiments.report import format_table
+
+COMMANDS = (
+    "PING_INLINE",
+    "SET",
+    "GET",
+    "INCR",
+    "LPUSH",
+    "LPOP",
+    "SADD",
+    "HSET",
+    "LRANGE_100",
+    "LRANGE_300",
+    "LRANGE_600",
+    "MSET",
+)
+
+
+@pytest.mark.parametrize("machine", ["rocket", "boom"])
+def test_fig12de_redis(benchmark, save_report, machine):
+    rows = benchmark.pedantic(
+        lambda: fig12_apps.run_redis_rows(machine, commands=COMMANDS, requests=40),
+        rounds=1,
+        iterations=1,
+    )
+    for row in rows:
+        # Table-based isolation loses throughput; HPMP recovers part of it.
+        assert float(row["pmpt"]) <= 100.5
+        assert float(row["hpmp"]) >= float(row["pmpt"]) - 0.5
+    avg_pmpt = sum(float(r["pmpt"]) for r in rows) / len(rows)
+    avg_hpmp = sum(float(r["hpmp"]) for r in rows) / len(rows)
+    assert avg_hpmp > avg_pmpt
+    text = format_table(
+        ["command", "pmp_rps", "pmp", "pmpt", "hpmp"],
+        rows,
+        title=f"Figure 12 ({machine}): Redis normalized RPS %",
+    )
+    save_report(f"fig12_redis_{machine}", text)
+    benchmark.extra_info["avg_rps_pct"] = {"pmpt": round(avg_pmpt, 1), "hpmp": round(avg_hpmp, 1)}

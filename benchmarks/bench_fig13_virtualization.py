@@ -1,0 +1,19 @@
+"""Bench: Figure 13 — virtualized (3D-walk) access latency."""
+
+from repro.experiments import fig13_virt
+from repro.experiments.report import format_table
+
+
+def test_fig13_virtualization(benchmark, save_report):
+    rows = benchmark.pedantic(lambda: fig13_virt.run("rocket"), rounds=1, iterations=1)
+    by = {row["scheme"]: row for row in rows}
+    # Cold (TC1) ordering: PMP < HPMP-GPT < HPMP < PMPT.
+    assert by["pmp"]["TC1"] < by["hpmp-gpt"]["TC1"] < by["hpmp"]["TC1"] < by["pmpt"]["TC1"]
+    # TLB hit identical everywhere.
+    tc4 = {row["scheme"]: row["TC4"] for row in rows}
+    assert len(set(tc4.values())) == 1
+    counts = {r["scheme"]: r["refs"] for r in fig13_virt.reference_counts("rocket")}
+    assert counts == {"pmpt": 48, "hpmp": 24, "hpmp-gpt": 18, "pmp": 16}
+    text = format_table(["scheme", *fig13_virt.CASES], rows, title="Figure 13: virtualized latency (rocket)")
+    save_report("fig13_virtualization", text)
+    benchmark.extra_info["cold_refs"] = counts

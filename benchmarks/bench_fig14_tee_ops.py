@@ -1,0 +1,52 @@
+"""Bench: Figure 14 — TEE operations (switch, region alloc/release, sizes)."""
+
+from repro.experiments import fig14_tee
+from repro.experiments.report import format_table
+
+
+def test_fig14a_domain_switch(benchmark, save_report):
+    rows = benchmark.pedantic(fig14_tee.run_domain_switch, rounds=1, iterations=1)
+    by = {row["domains"]: row for row in rows}
+    # HPMP switch cost stays stable and within ~5% of PMP where PMP works.
+    for count in (2, 12):
+        pmp = float(by[count]["penglai-pmp"])
+        hpmp = float(by[count]["penglai-hpmp"])
+        assert abs(hpmp - pmp) / pmp < 0.05
+    assert by[101]["penglai-pmp"] == "no available PMP"
+    assert isinstance(by[101]["penglai-hpmp"], int)
+    text = format_table(["domains", "penglai-pmp", "penglai-hpmp"], rows, title="Figure 14-a: domain switch")
+    save_report("fig14a_domain_switch", text)
+    benchmark.extra_info["hpmp_101_domains_cycles"] = by[101]["penglai-hpmp"]
+
+
+def test_fig14bc_region_alloc_release(benchmark, save_report):
+    rows = benchmark.pedantic(
+        lambda: fig14_tee.run_region_alloc_release(num_regions=100), rounds=1, iterations=1
+    )
+    pmp_ok = [r for r in rows if isinstance(r["penglai-pmp_alloc"], int)]
+    hpmp_ok = [r for r in rows if isinstance(r["penglai-hpmp_alloc"], int)]
+    # PMP hits its entry wall; HPMP sustains 100+ regions.
+    assert len(pmp_ok) < 16
+    assert len(hpmp_ok) == 100
+    # HPMP pays slightly more per region in steady state (registers + table).
+    steady = [r for r in hpmp_ok[1:] if isinstance(r["penglai-pmp_alloc"], int)]
+    assert all(r["penglai-hpmp_alloc"] >= r["penglai-pmp_alloc"] for r in steady)
+    text = format_table(
+        ["region", "penglai-pmp_alloc", "penglai-hpmp_alloc", "penglai-pmp_release", "penglai-hpmp_release"],
+        rows[:20],
+        title="Figure 14-b/c: region grant/revoke (first 20 of 100)",
+    )
+    save_report("fig14bc_region_alloc_release", text)
+    benchmark.extra_info["pmp_max_regions"] = len(pmp_ok)
+
+
+def test_fig14d_alloc_sizes(benchmark, save_report):
+    rows = benchmark.pedantic(fig14_tee.run_alloc_sizes, rounds=1, iterations=1)
+    by = {row["size_mib"]: float(row["penglai-hpmp"]) for row in rows}
+    # Latency grows with size up to 16 MiB...
+    assert by[16] > by[4] > by[2]
+    # ...then collapses at 32 MiB thanks to the huge pmpte.
+    assert by[32] < by[2]
+    text = format_table(["size_mib", "penglai-hpmp"], rows, title="Figure 14-d: allocation vs size")
+    save_report("fig14d_alloc_sizes", text)
+    benchmark.extra_info["cycles_16MiB_vs_32MiB"] = (by[16], by[32])

@@ -1,0 +1,42 @@
+"""Bench: Figure 15 — memory fragmentation (2x2 grid)."""
+
+from repro.experiments import fig15_frag
+from repro.experiments.report import format_table
+
+
+def test_fig15_fragmentation(benchmark, save_report):
+    rows = benchmark.pedantic(lambda: fig15_frag.run_fig15("rocket", num_pages=64), rounds=1, iterations=1)
+    for row in rows:
+        # HPMP beats PMPT in every quadrant; PMP is the floor.
+        assert row["pmp"] <= row["hpmp"] <= row["pmpt"]
+    grid = {(r["physical_pages"], r["va_pattern"]): r for r in rows}
+    # Fragmented VA costs more than contiguous VA for every scheme.
+    for kind in ("pmp", "pmpt", "hpmp"):
+        assert grid[("contiguous", "Fragmented-VA")][kind] > grid[("contiguous", "Contiguous-VA")][kind]
+    # The fully fragmented quadrant is the worst for the permission table.
+    assert grid[("fragmented", "Fragmented-VA")]["pmpt"] == max(r["pmpt"] for r in rows)
+    text = format_table(
+        ["physical_pages", "va_pattern", "pmp", "pmpt", "hpmp"], rows, title="Figure 15: fragmentation"
+    )
+    save_report("fig15_fragmentation", text)
+    benchmark.extra_info["worst_quadrant_pmpt"] = grid[("fragmented", "Fragmented-VA")]["pmpt"]
+
+
+def test_fig15_fragmentation_virtualized(benchmark, save_report):
+    """Cases 3/4: fragmented guest VAs over (contiguous|fragmented) host frames."""
+    rows = benchmark.pedantic(
+        lambda: fig15_frag.run_fig15_virtualized("rocket", num_pages=24), rounds=1, iterations=1
+    )
+    for row in rows:
+        assert row["pmp"] <= row["hpmp"] <= row["pmpt"]
+    by = {row["host_physical"]: row for row in rows}
+    # Fragmented host frames cost the table schemes more; PMP is unaffected.
+    assert by["fragmented"]["pmpt"] > by["contiguous"]["pmpt"]
+    assert by["fragmented"]["pmp"] == by["contiguous"]["pmp"]
+    text = format_table(
+        ["host_physical", "va_pattern", "pmp", "pmpt", "hpmp"],
+        rows,
+        title="Figure 15 (virtualized cases 3/4)",
+    )
+    save_report("fig15_fragmentation_virtualized", text)
+    benchmark.extra_info["rows"] = rows

@@ -1,0 +1,24 @@
+"""Bench: Figure 16 — caching the permission table (PMPTW-Cache)."""
+
+from repro.experiments import fig15_frag
+from repro.experiments.report import format_table
+
+
+def test_fig16_pmpt_cache(benchmark, save_report):
+    rows = benchmark.pedantic(lambda: fig15_frag.run_fig16("rocket", num_pages=64), rounds=1, iterations=1)
+    for row in rows:
+        # Caching helps both table-walking schemes.
+        assert row["pmpt-cache"] <= row["pmpt"]
+        assert row["hpmp-cache"] <= row["hpmp"]
+        # HPMP+cache is the best of the table-based options (paper: best in all cases).
+        assert row["hpmp-cache"] <= row["pmpt-cache"]
+        assert row["pmp"] <= row["hpmp-cache"]
+    text = format_table(
+        ["va_pattern", "pmpt", "pmpt-cache", "hpmp", "hpmp-cache", "pmp"],
+        rows,
+        title="Figure 16: PMPTW-Cache",
+    )
+    save_report("fig16_pmpt_cache", text)
+    benchmark.extra_info["rows"] = [
+        {k: row[k] for k in ("va_pattern", "pmpt", "pmpt-cache", "hpmp-cache")} for row in rows
+    ]

@@ -1,0 +1,18 @@
+"""Bench: Figure 17 — FunctionBench with 8- vs 32-entry PWC (Rocket)."""
+
+from repro.experiments import fig17_pwc
+from repro.experiments.report import format_table
+
+
+def test_fig17_pwc_sweep(benchmark, save_report):
+    rows = benchmark.pedantic(lambda: fig17_pwc.run("rocket"), rounds=1, iterations=1)
+    for row in rows:
+        for pwc in (8, 32):
+            # HPMP consistently beats the naive PMP Table at any PWC size.
+            assert float(row[f"hpmp({pwc})"]) <= float(row[f"pmpt({pwc})"])
+        # A larger PWC never makes PMP Table worse by much (paper: helps some).
+        assert float(row["pmpt(32)"]) <= float(row["pmpt(8)"]) * 1.03
+    headers = ["function"] + [f"{k}({p})" for p in (8, 32) for k in ("pmp", "pmpt", "hpmp")]
+    text = format_table(headers, rows, title="Figure 17: PWC sweep (rocket)")
+    save_report("fig17_pwc_sweep", text)
+    benchmark.extra_info["functions"] = len(rows)

@@ -1,0 +1,20 @@
+"""Bench: extension — consolidation scalability (domains vs switch overhead)."""
+
+from repro.experiments import scalability
+from repro.experiments.report import format_table
+
+
+def test_scalability_consolidation(benchmark, save_report):
+    rows = benchmark.pedantic(lambda: scalability.run(domain_counts=(2, 8, 24)), rounds=1, iterations=1)
+    by = {row["domains"]: row for row in rows}
+    # PMP hits its wall; HPMP's per-switch overhead stays flat.
+    assert by[24]["pmp_overhead_%"] == "no available PMP"
+    assert isinstance(by[24]["hpmp_overhead_%"], float)
+    assert abs(float(by[24]["hpmp_overhead_%"]) - float(by[8]["hpmp_overhead_%"])) < 5.0
+    text = format_table(
+        ["domains", "pmp_overhead_%", "pmpt_overhead_%", "hpmp_overhead_%"],
+        rows,
+        title="Extension: consolidation scalability",
+    )
+    save_report("scalability_consolidation", text)
+    benchmark.extra_info["rows"] = rows

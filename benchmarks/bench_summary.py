@@ -1,0 +1,12 @@
+"""Bench: the headline-claim reproduction summary (all must PASS)."""
+
+from repro.experiments import summary
+from repro.experiments.report import format_table
+
+
+def test_headline_summary(benchmark, save_report):
+    rows = benchmark.pedantic(summary.run, rounds=1, iterations=1)
+    assert all(row["verdict"] == "PASS" for row in rows), rows
+    text = format_table(["claim", "verdict", "detail"], rows, title="Headline-claim summary")
+    save_report("summary", text)
+    benchmark.extra_info["claims"] = {str(r["claim"]): str(r["verdict"]) for r in rows}

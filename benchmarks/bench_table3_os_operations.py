@@ -1,0 +1,23 @@
+"""Bench: Table 3 — LMBench OS-operation costs on BOOM."""
+
+from repro.experiments import table3_os
+from repro.experiments.report import format_table
+
+
+def test_table3_os_operations(benchmark, save_report):
+    rows = benchmark.pedantic(
+        lambda: table3_os.run(machine="boom", iterations=6, kernel_heap_pages=12288),
+        rounds=1,
+        iterations=1,
+    )
+    by = {row["syscall"]: row for row in rows}
+    # The permission table must cost more than PMP overall, with HPMP between.
+    total = {k: sum(float(r[k]) for r in rows) for k in ("pmp", "pmpt", "hpmp")}
+    assert total["pmp"] < total["hpmp"] < total["pmpt"]
+    # null is the cheapest operation; fork+exec the most expensive.
+    assert float(by["null"]["pmp"]) == min(float(r["pmp"]) for r in rows)
+    assert float(by["fork+exec"]["pmp"]) == max(float(r["pmp"]) for r in rows)
+    text = format_table(["syscall", "pmp", "pmpt", "hpmp", "pmpt/hpmp"], rows, title="Table 3 (BOOM)")
+    save_report("table3_os_operations", text)
+    ratios = [float(r["pmpt/hpmp"]) for r in rows]
+    benchmark.extra_info["avg_pmpt_over_hpmp_pct"] = round(sum(ratios) / len(ratios), 1)

@@ -1,0 +1,19 @@
+"""Bench: Table 4 — hardware resource costs (analytical substitution)."""
+
+from repro.experiments import table4_hw
+from repro.experiments.report import format_table
+
+
+def test_table4_hw_cost(benchmark, save_report):
+    rows = benchmark.pedantic(table4_hw.run, rounds=1, iterations=1)
+    for row in rows:
+        # The paper's shape: HPMP adds ~<2% to the top module, slightly more with H.
+        assert 0.0 < float(row["cost_%"]) < 2.0
+        assert float(row["cost+H_%"]) <= float(row["cost_%"]) + 0.5
+    text = format_table(
+        ["resource", "baseline", "hpmp", "cost_%", "baseline+H", "hpmp+H", "cost+H_%"],
+        rows,
+        title="Table 4 (analytical substitution)",
+    )
+    save_report("table4_hw_cost", text)
+    benchmark.extra_info["costs_pct"] = {row["resource"]: row["cost_%"] for row in rows}

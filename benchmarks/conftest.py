@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench reproduces one paper table/figure by calling the corresponding
+``repro.experiments`` module, times it under pytest-benchmark, and writes
+the rendered table to ``benchmarks/results/<name>.txt`` so the reproduction
+output survives independent of pytest's capture settings.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Persist a rendered experiment table under benchmarks/results/."""
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _save

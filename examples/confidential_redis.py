@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Scenario: an in-memory data store inside an enclave.
+
+Deploys the mini-Redis server in a Penglai enclave (its store in one
+contiguous GMS), drives it with a redis-benchmark-style client, and compares
+requests-per-second across the three isolation schemes — the paper's §8.5
+case study.
+
+Run:  python examples/confidential_redis.py
+"""
+
+from repro.common.params import machine_params
+from repro.workloads.redis import build_server, run_command
+
+COMMANDS = ("PING_INLINE", "SET", "GET", "LPUSH", "LRANGE_100", "LRANGE_600", "MSET")
+
+
+def main() -> None:
+    machine = "boom"
+    freq = machine_params(machine).freq_mhz
+    results = {}
+    for kind in ("pmp", "pmpt", "hpmp"):
+        server = build_server(kind, machine=machine, num_keys=16384)
+        results[kind] = {
+            cmd: run_command(cmd, kind, requests=30, warmup=10, server=server).rps(freq)
+            for cmd in COMMANDS
+        }
+
+    print(f"{'command':12s} {'PMP rps':>10s} {'PMPT rps':>10s} {'HPMP rps':>10s}   (normalized to PMP)")
+    for cmd in COMMANDS:
+        pmp = results["pmp"][cmd]
+        pmpt = results["pmpt"][cmd]
+        hpmp = results["hpmp"][cmd]
+        print(
+            f"{cmd:12s} {pmp:10.0f} {pmpt:10.0f} {hpmp:10.0f}   "
+            f"({100 * pmpt / pmp:5.1f}% / {100 * hpmp / pmp:5.1f}%)"
+        )
+    print("\nPaper shape: the permission table costs double-digit RPS on list-heavy")
+    print("commands; HPMP recovers most of it (avg -4.5% on BOOM).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Scenario: protecting enclave memory from DMA-capable devices (paper §9).
+
+Sets up an IOPMP in front of two bus masters — a NIC and a disk controller —
+gives each a DMA window, and shows (1) cross-device isolation, (2) how a
+single table-mode entry manages dozens of page-granular rx-buffer windows
+that segment entries could never cover, and (3) the per-beat cost of the
+table walk versus a segment window.
+
+Run:  python examples/io_protection.py
+"""
+
+from repro.common.errors import AccessFault
+from repro.common.params import rocket
+from repro.common.types import KIB, MIB, AccessType, MemRegion, Permission
+from repro.isolation.iopmp import DMAEngine, IOPMP, IOPMPEntry
+from repro.isolation.pmptable import PMPTable
+from repro.mem.allocator import FrameAllocator
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.physical import PhysicalMemory
+
+BASE = 0x8000_0000
+NIC, DISK = 1, 2
+
+
+def main() -> None:
+    memory = PhysicalMemory(256 * MIB, base=BASE)
+    hierarchy = MemoryHierarchy(rocket())
+    iopmp = IOPMP(hierarchy)
+
+    nic_window = MemRegion(BASE + 64 * MIB, 1 * MIB)
+    disk_window = MemRegion(BASE + 80 * MIB, 4 * MIB)
+    iopmp.set_entry(0, IOPMPEntry(nic_window, frozenset({NIC}), Permission.rw()))
+    iopmp.set_entry(1, IOPMPEntry(disk_window, frozenset({DISK}), Permission.rw()))
+
+    nic = DMAEngine(NIC, iopmp, hierarchy)
+    disk = DMAEngine(DISK, iopmp, hierarchy)
+
+    result = nic.transfer(nic_window.base, 16 * KIB)
+    print(f"NIC -> its own window:   {result.bytes_moved} B in {result.cycles} cycles (segment, 0 table refs)")
+
+    try:
+        nic.transfer(disk_window.base, 4 * KIB)
+    except AccessFault as exc:
+        print(f"NIC -> disk window:      DENIED ({exc})")
+
+    # Fine-grained: 64 scattered 4 KiB rx buffers behind ONE table-mode entry.
+    frames = FrameAllocator(MemRegion(BASE, 8 * MIB))
+    rx_region = MemRegion(BASE + 96 * MIB, 16 * MIB)
+    table = PMPTable(memory, frames, rx_region)
+    buffers = [rx_region.base + i * 8 * 4096 for i in range(64)]
+    for buffer in buffers:
+        table.set_page_perm(buffer, Permission.rw())
+    iopmp.set_entry(2, IOPMPEntry(rx_region, frozenset({NIC}), table=table))
+
+    result = nic.transfer(buffers[7], 4 * KIB)
+    print(f"NIC -> rx buffer #7:     OK, {result.checker_refs} pmpte refs over {result.cycles} cycles (table mode)")
+    try:
+        nic.transfer(buffers[7] + 4096, 4 * KIB)  # the gap between buffers
+    except AccessFault:
+        print("NIC -> between buffers:  DENIED (page-granular table)")
+
+    print(f"\nIOPMP entries used: {iopmp.num_entries - iopmp.free_entries()} "
+          f"for {2 + len(buffers)} protected windows")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Quickstart: measure the extra dimension of page walks.
+
+Builds one simulated machine per isolation scheme, performs a single cold
+memory load, and shows the paper's headline numbers: 4 references for
+segment-based PMP, 12 for a 2-level permission table, and 6 for HPMP.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AccessType, System
+
+PROBE_VA = 0x40_0000_0000
+
+
+def main() -> None:
+    print(f"{'scheme':8s} {'refs':>5s} {'pt':>4s} {'checker':>8s} {'cycles':>7s}   (cold Sv39 load)")
+    for kind in ("pmp", "pmpt", "hpmp"):
+        system = System(machine="boom", checker_kind=kind, mem_mib=128)
+        space = system.new_address_space()
+        space.map(PROBE_VA, 4096)
+        system.machine.cold_boot()
+        result = system.access(space, PROBE_VA, AccessType.READ)
+        print(
+            f"{kind:8s} {result.total_refs:5d} {result.pt_refs:4d} "
+            f"{result.checker_refs:8d} {result.cycles:7d}"
+        )
+
+    print("\nAfter the TLB warms up, every scheme costs the same:")
+    for kind in ("pmp", "pmpt", "hpmp"):
+        system = System(machine="boom", checker_kind=kind, mem_mib=128)
+        space = system.new_address_space()
+        space.map(PROBE_VA, 4096)
+        system.access(space, PROBE_VA)
+        hot = system.access(space, PROBE_VA)
+        print(f"{kind:8s} TLB hit: {hot.cycles} cycles, {hot.total_refs} reference")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Scenario: confidential computing under virtualization (paper §6).
+
+Builds a guest VM with two-stage translation and shows the 3D-page-walk
+blow-up — 16 references bare, 48 with a permission table — and how HPMP
+(fast-GMS NPT pages) and HPMP-GPT (contiguous guest PTs too) claw it back.
+
+Run:  python examples/virtualized_guest.py
+"""
+
+from repro.common.types import PAGE_SIZE
+from repro.soc.system import System
+from repro.virt.nested import GUEST_DRAM_BASE, VirtualMachine
+
+GVA = 0x40_0000_0000
+
+
+def main() -> None:
+    print(f"{'scheme':10s} {'cold refs':>10s} {'checker':>8s} {'cold cyc':>9s} "
+          f"{'hfence.v':>9s} {'hfence.g':>9s} {'hit':>5s}")
+    for label, kind, gpt in (
+        ("pmpt", "pmpt", False),
+        ("hpmp", "hpmp", False),
+        ("hpmp-gpt", "hpmp", True),
+        ("pmp", "pmp", False),
+    ):
+        system = System(machine="rocket", checker_kind=kind, mem_mib=256)
+        vm = VirtualMachine(system, guest_pages=512, gpt_contiguous=gpt)
+        vm.guest_map(GVA, GUEST_DRAM_BASE + 32 * PAGE_SIZE)
+        system.machine.cold_boot()
+        cold = vm.guest_access(GVA)
+        vm.hfence_vvma()
+        after_v = vm.guest_access(GVA)
+        vm.hfence_gvma()
+        after_g = vm.guest_access(GVA)
+        hit = vm.guest_access(GVA)
+        print(
+            f"{label:10s} {cold.refs:10d} {cold.checker_refs:8d} {cold.cycles:9d} "
+            f"{after_v.cycles:9d} {after_g.cycles:9d} {hit.cycles:5d}"
+        )
+    print("\nPaper: 48 / 24 / 18 / 16 references; HPMP-GPT leaves only 2 extra.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Command-line entry point: reproduce any paper experiment by id.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig10
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .experiments import ALL_EXPERIMENTS
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help", "list"):
+        print("Reproduce a paper experiment. Available ids:")
+        for name, module in ALL_EXPERIMENTS.items():
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:10s} {doc}")
+        print("  all        run every experiment in sequence")
+        return 0
+    targets = list(ALL_EXPERIMENTS) if argv[0] == "all" else argv
+    unknown = [t for t in targets if t not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment id(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    for target in targets:
+        print(f"\n===== {target} =====")
+        ALL_EXPERIMENTS[target].main()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

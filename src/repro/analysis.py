@@ -1,0 +1,137 @@
+"""Post-run analysis utilities.
+
+Turns the raw counters scattered across a simulated system into the
+summaries a performance engineer actually reads: hit rates, reference
+breakdowns, cross-scheme comparisons, and paper-style "shape" assessments
+(who wins, by what factor, where the crossover sits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .soc.system import System
+
+
+@dataclass(frozen=True)
+class MachineReport:
+    """A snapshot of one machine's micro-architectural behaviour."""
+
+    accesses: int
+    tlb_l1_hit_rate: float
+    tlb_l2_hit_rate: float
+    tlb_miss_rate: float
+    l1d_hit_rate: float
+    l2_hit_rate: float
+    llc_hit_rate: float
+    dram_refs: int
+    pt_refs: int
+    checker_refs: int
+    pwc_hit_rate: float
+    checker_stats: Dict[str, int]
+
+    def lines(self) -> List[str]:
+        """Human-readable summary lines."""
+        return [
+            f"accesses:        {self.accesses}",
+            f"TLB:             L1 {100 * self.tlb_l1_hit_rate:.1f}% / L2 {100 * self.tlb_l2_hit_rate:.1f}% "
+            f"/ miss {100 * self.tlb_miss_rate:.1f}%",
+            f"caches:          L1D {100 * self.l1d_hit_rate:.1f}% / L2 {100 * self.l2_hit_rate:.1f}% "
+            f"/ LLC {100 * self.llc_hit_rate:.1f}%",
+            f"DRAM refs:       {self.dram_refs}",
+            f"walk refs:       {self.pt_refs} page-table + {self.checker_refs} permission-table",
+            f"PWC hit rate:    {100 * self.pwc_hit_rate:.1f}%",
+        ]
+
+
+def report(system: System) -> MachineReport:
+    """Collect a :class:`MachineReport` from a system's counters."""
+    machine = system.machine
+    tlb = machine.tlb.stats
+    hierarchy = machine.hierarchy
+    total_tlb = tlb["l1_hit"] + tlb["l2_hit"] + tlb["miss"]
+
+    def rate(stats, hit="hit", miss="miss") -> float:
+        total = stats[hit] + stats[miss]
+        return stats[hit] / total if total else 0.0
+
+    checker_stats = getattr(machine.checker, "stats", None)
+    return MachineReport(
+        accesses=machine.stats["accesses"],
+        tlb_l1_hit_rate=tlb["l1_hit"] / total_tlb if total_tlb else 0.0,
+        tlb_l2_hit_rate=tlb["l2_hit"] / total_tlb if total_tlb else 0.0,
+        tlb_miss_rate=tlb["miss"] / total_tlb if total_tlb else 0.0,
+        l1d_hit_rate=rate(hierarchy.l1d.stats),
+        l2_hit_rate=rate(hierarchy.l2.stats),
+        llc_hit_rate=rate(hierarchy.llc.stats),
+        dram_refs=hierarchy.stats["dram_refs"],
+        pt_refs=machine.stats["pt_refs"],
+        checker_refs=machine.stats["checker_refs"],
+        pwc_hit_rate=machine.pwc.stats.ratio("hit", "miss"),
+        checker_stats=checker_stats.snapshot() if checker_stats is not None else {},
+    )
+
+
+@dataclass(frozen=True)
+class SchemeComparison:
+    """A/B/C comparison of one metric across isolation schemes."""
+
+    metric: str
+    baseline: str
+    values: Dict[str, float]
+
+    @property
+    def overhead_pct(self) -> Dict[str, float]:
+        base = self.values[self.baseline]
+        if not base:
+            return {k: 0.0 for k in self.values}
+        return {k: 100.0 * (v / base - 1.0) for k, v in self.values.items()}
+
+    def mitigation_pct(self, hybrid: str = "hpmp", table: str = "pmpt") -> Optional[float]:
+        """How much of *table*'s extra cost *hybrid* removes (paper's metric)."""
+        base = self.values.get(self.baseline)
+        if base is None or table not in self.values or hybrid not in self.values:
+            return None
+        extra_table = self.values[table] - base
+        extra_hybrid = self.values[hybrid] - base
+        if extra_table <= 0:
+            return None
+        return 100.0 * (1.0 - extra_hybrid / extra_table)
+
+    def winner(self) -> str:
+        return min(self.values, key=self.values.get)  # type: ignore[arg-type]
+
+
+def compare(metric: str, values: Mapping[str, float], baseline: str = "pmp") -> SchemeComparison:
+    """Build a comparison; *values* maps scheme name -> measured cost."""
+    if baseline not in values:
+        raise KeyError(f"baseline {baseline!r} missing from values {sorted(values)}")
+    return SchemeComparison(metric, baseline, dict(values))
+
+
+@dataclass
+class ShapeAssessment:
+    """Checks a measured comparison against the paper's expected shape."""
+
+    comparison: SchemeComparison
+    expected_order: Sequence[str]  # cheapest first
+    mitigation_band: Optional["tuple[float, float]"] = None
+    notes: List[str] = field(default_factory=list)
+
+    def evaluate(self) -> bool:
+        """True when ordering (and the mitigation band, if given) hold."""
+        ok = True
+        measured = sorted(self.comparison.values, key=self.comparison.values.get)  # type: ignore[arg-type]
+        if list(measured) != list(self.expected_order):
+            ok = False
+            self.notes.append(f"ordering {measured} != expected {list(self.expected_order)}")
+        if self.mitigation_band is not None:
+            mitigation = self.comparison.mitigation_pct()
+            low, high = self.mitigation_band
+            if mitigation is None or not low <= mitigation <= high:
+                ok = False
+                self.notes.append(f"mitigation {mitigation} outside [{low}, {high}]")
+        if ok:
+            self.notes.append("shape reproduced")
+        return ok

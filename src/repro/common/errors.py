@@ -1,0 +1,72 @@
+"""Exception hierarchy for the HPMP simulator.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch simulator faults without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all simulator errors."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class AlignmentError(ConfigurationError):
+    """An address or size violates an alignment requirement."""
+
+
+class MemoryError_(ReproError):
+    """Physical memory subsystem fault (out-of-range access, bad size)."""
+
+
+class PageFault(ReproError):
+    """Address translation failed (invalid PTE, bad permissions at PT level).
+
+    Carries the faulting virtual address and a human-readable reason.
+    """
+
+    def __init__(self, vaddr: int, reason: str = "page fault"):
+        super().__init__(f"page fault at VA {vaddr:#x}: {reason}")
+        self.vaddr = vaddr
+        self.reason = reason
+
+
+class GuestPageFault(PageFault):
+    """Second-stage (nested) translation failed for a guest physical address."""
+
+    def __init__(self, gpa: int, reason: str = "guest page fault"):
+        super().__init__(gpa, reason)
+        self.gpa = gpa
+
+
+class AccessFault(ReproError):
+    """Physical memory protection denied an access.
+
+    Raised by PMP / PMP Table / HPMP checkers.  Carries the physical address,
+    the access type, and the name of the checker entry (if any) that denied it.
+    """
+
+    def __init__(self, paddr: int, access: str, detail: str = ""):
+        msg = f"access fault at PA {paddr:#x} ({access})"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+        self.paddr = paddr
+        self.access = access
+        self.detail = detail
+
+
+class MonitorError(ReproError):
+    """Secure-monitor API misuse (bad domain id, exhausted resources...)."""
+
+
+class OutOfResources(MonitorError):
+    """A fixed hardware resource (PMP entries, memory) is exhausted."""
+
+
+class WorkloadError(ReproError):
+    """A workload model was driven with invalid inputs."""

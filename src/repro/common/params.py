@@ -1,0 +1,116 @@
+"""Machine configuration parameter sets (paper Table 1).
+
+Two reference configurations are provided, mirroring the paper's FireSim
+targets: ``rocket()`` (in-order, 1 GHz) and ``boom()`` (out-of-order,
+3.2 GHz).  Latency numbers are load-to-use cycle costs for the timing model;
+they are calibrated so the microbenchmark shapes (Figure 10) match the
+paper's relative results, not its absolute cycle counts (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .types import KIB, MIB
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Geometry and hit latency of one cache level."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    line_bytes: int = 64
+    hit_latency: int = 2
+
+    @property
+    def sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class TLBParams:
+    """Geometry of one TLB level."""
+
+    name: str
+    entries: int
+    ways: int  # ways == entries -> fully associative
+    hit_latency: int = 0
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Full parameter set for one simulated SoC (paper Table 1).
+
+    ``mlp_factor`` models out-of-order overlap of dependent walk references:
+    the effective cycle cost of the serial walk chain is scaled by it (1.0 for
+    the in-order Rocket; < 1.0 for BOOM, whose LSU overlaps part of the
+    latency with other work).
+    """
+
+    name: str
+    freq_mhz: int
+    l1d: CacheParams
+    l1i: CacheParams
+    l2: CacheParams
+    llc: CacheParams
+    dram_latency: int
+    l1_tlb: TLBParams
+    l2_tlb: TLBParams
+    ptecache_entries: int = 8  # PWC (page-walk cache) entries
+    pmptw_cache_entries: int = 8  # PMPTW-Cache entries (disabled by default)
+    pmptw_cache_enabled: bool = False
+    tlb_inlining: bool = True  # cache checker permission in TLB entries
+    mlp_factor: float = 1.0
+    register_write_cycles: int = 3  # CSR write cost (PMP/HPMP registers)
+    tlb_flush_cycles: int = 32
+
+    def with_(self, **kwargs) -> "MachineParams":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+def rocket() -> MachineParams:
+    """The in-order RocketCore configuration (Table 1)."""
+    return MachineParams(
+        name="rocket",
+        freq_mhz=1000,
+        l1d=CacheParams("L1D", 16 * KIB, ways=4, hit_latency=2),
+        l1i=CacheParams("L1I", 16 * KIB, ways=4, hit_latency=2),
+        l2=CacheParams("L2", 512 * KIB, ways=8, hit_latency=14),
+        llc=CacheParams("LLC", 4 * MIB, ways=8, hit_latency=30),
+        dram_latency=80,
+        l1_tlb=TLBParams("L1TLB", entries=32, ways=32),
+        l2_tlb=TLBParams("L2TLB", entries=1024, ways=1, hit_latency=4),
+        ptecache_entries=8,
+        mlp_factor=1.0,
+    )
+
+
+def boom() -> MachineParams:
+    """The out-of-order BOOM configuration (Table 1)."""
+    return MachineParams(
+        name="boom",
+        freq_mhz=3200,
+        l1d=CacheParams("L1D", 32 * KIB, ways=8, hit_latency=4),
+        l1i=CacheParams("L1I", 32 * KIB, ways=8, hit_latency=4),
+        l2=CacheParams("L2", 512 * KIB, ways=8, hit_latency=22),
+        llc=CacheParams("LLC", 4 * MIB, ways=8, hit_latency=45),
+        dram_latency=180,
+        l1_tlb=TLBParams("L1TLB", entries=32, ways=32),
+        l2_tlb=TLBParams("L2TLB", entries=1024, ways=1, hit_latency=6),
+        ptecache_entries=8,
+        mlp_factor=0.85,
+    )
+
+
+_PRESETS = {"rocket": rocket, "boom": boom}
+
+
+def machine_params(name: str) -> MachineParams:
+    """Look up a preset configuration by name ('rocket' or 'boom')."""
+    try:
+        return _PRESETS[name]()
+    except KeyError:
+        raise KeyError(f"unknown machine preset {name!r}; options: {sorted(_PRESETS)}") from None

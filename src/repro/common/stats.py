@@ -1,0 +1,62 @@
+"""Lightweight statistics counters used throughout the simulator.
+
+Components own a :class:`StatGroup` and bump named counters; experiments read
+them to report hit rates and reference counts.  Counters are plain ints so
+the hot path stays cheap.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterator, Mapping
+
+
+class StatGroup:
+    """A named group of monotonically increasing counters.
+
+    >>> s = StatGroup("tlb")
+    >>> s.bump("hit"); s.bump("miss", 2)
+    >>> s["hit"], s["miss"]
+    (1, 2)
+    >>> s.ratio("hit", "miss")
+    0.3333333333333333
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._counters: Counter = Counter()
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        """Increase counter *key* by *amount*."""
+        self._counters[key] += amount
+
+    def __getitem__(self, key: str) -> int:
+        return self._counters.get(key, 0)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counters)
+
+    def ratio(self, numerator: str, *others: str) -> float:
+        """Return numerator / (numerator + sum(others)); 0.0 if empty."""
+        num = self._counters.get(numerator, 0)
+        total = num + sum(self._counters.get(o, 0) for o in others)
+        if total == 0:
+            return 0.0
+        return num / total
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self._counters.clear()
+
+    def snapshot(self) -> Dict[str, int]:
+        """Return a plain-dict copy of the counters."""
+        return dict(self._counters)
+
+    def merge(self, other: Mapping[str, int]) -> None:
+        """Add another snapshot's counters into this group."""
+        for key, value in other.items():
+            self._counters[key] += value
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in sorted(self._counters.items()))
+        return f"StatGroup({self.name}: {body})"

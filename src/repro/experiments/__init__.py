@@ -1,0 +1,42 @@
+"""Experiment reproductions: one module per paper table/figure.
+
+Each module exposes ``run(...) -> list[dict]`` plus a ``main()`` that prints
+the table with the paper's expected shape in the title.  The benchmark
+harness under ``benchmarks/`` calls the same ``run`` functions.
+"""
+
+from . import (
+    ablations,
+    fig02_counts,
+    fig03_preview,
+    fig10_latency,
+    fig11_suites,
+    fig12_apps,
+    fig13_virt,
+    fig14_tee,
+    fig15_frag,
+    fig17_pwc,
+    scalability,
+    summary,
+    table3_os,
+    table4_hw,
+)
+
+ALL_EXPERIMENTS = {
+    "fig02": fig02_counts,
+    "fig03": fig03_preview,
+    "fig10": fig10_latency,
+    "fig11": fig11_suites,
+    "fig12": fig12_apps,
+    "fig13": fig13_virt,
+    "fig14": fig14_tee,
+    "fig15": fig15_frag,
+    "fig17": fig17_pwc,
+    "table3": table3_os,
+    "scalability": scalability,
+    "summary": summary,
+    "table4": table4_hw,
+    "ablations": ablations,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

@@ -1,0 +1,47 @@
+"""Figure 2 / §3: memory-reference counts per isolation scheme.
+
+The paper's headline arithmetic: RISC-V Sv39, TLB miss, no caching of walk
+state — 4 references bare, 12 with a 2-level permission table, 6 with HPMP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..common.types import PAGE_SIZE
+from ..soc.system import System
+from .report import format_table
+
+MODES = ("sv39", "sv48", "sv57")
+KINDS = ("pmp", "pmpt", "hpmp")
+PROBE_VA = 0x40_0000_0000
+
+
+def run(modes=MODES, kinds=KINDS) -> List[Dict[str, object]]:
+    """One row per translation mode with per-scheme reference counts."""
+    rows: List[Dict[str, object]] = []
+    for mode in modes:
+        row: Dict[str, object] = {"mode": mode}
+        for kind in kinds:
+            system = System(machine="rocket", checker_kind=kind, mem_mib=128)
+            space = system.new_address_space(mode=mode)
+            space.map(PROBE_VA, PAGE_SIZE)
+            system.machine.cold_boot()
+            result = system.access(space, PROBE_VA)
+            row[kind] = result.total_refs
+        rows.append(row)
+    return rows
+
+
+def main() -> str:
+    text = format_table(
+        ["mode", "pmp", "pmpt", "hpmp"],
+        run(),
+        title="Figure 2: memory references per TLB-missing access (paper: sv39 = 4 / 12 / 6)",
+    )
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Figure 10 / Table 2: ld/sd latency under TC1-TC4 on Rocket and BOOM."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..common.types import AccessType
+from ..workloads.microbench import TEST_CASES, latency_sweep
+from .report import format_table
+
+KINDS = ("pmpt", "hpmp", "pmp")
+
+
+def run(machine: str = "rocket", access: AccessType = AccessType.READ) -> List[Dict[str, object]]:
+    """Rows: one per checker, columns TC1..TC4 (cycles)."""
+    sweep = latency_sweep(machine, kinds=KINDS, access=access)
+    rows = []
+    for kind in KINDS:
+        row: Dict[str, object] = {"checker": kind}
+        for case in TEST_CASES:
+            row[case] = sweep[kind][case].cycles
+        rows.append(row)
+    return rows
+
+
+def mitigation(rows: List[Dict[str, object]]) -> Dict[str, float]:
+    """Fraction of PMPT's extra cost that HPMP removes, per test case."""
+    by = {str(r["checker"]): r for r in rows}
+    out = {}
+    for case in TEST_CASES:
+        extra_pmpt = float(by["pmpt"][case]) - float(by["pmp"][case])  # type: ignore[arg-type]
+        extra_hpmp = float(by["hpmp"][case]) - float(by["pmp"][case])  # type: ignore[arg-type]
+        out[case] = 100.0 * (1.0 - extra_hpmp / extra_pmpt) if extra_pmpt > 0 else 0.0
+    return out
+
+
+def main() -> str:
+    chunks = []
+    for machine in ("rocket", "boom"):
+        for access, label in ((AccessType.READ, "ld"), (AccessType.WRITE, "sd")):
+            rows = run(machine, access)
+            chunks.append(
+                format_table(
+                    ["checker", *TEST_CASES],
+                    rows,
+                    title=f"Figure 10: {label} latency (cycles), {machine} "
+                    f"(paper: PMPT > HPMP > PMP, equal at TC4)",
+                )
+            )
+            mit = mitigation(rows)
+            chunks.append(
+                "HPMP mitigates of PMPT extra cost: "
+                + ", ".join(f"{c}={v:.0f}%" for c, v in mit.items() if c != "TC4")
+                + "  (paper: 23.1%-73.1% on BOOM)"
+            )
+    text = "\n\n".join(chunks)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Figure 11: RV8 (RocketCore) and GAP (RocketCore + BOOM) suites."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..common.params import machine_params
+from ..workloads.gap import KERNELS, run_kernel
+from ..workloads.rv8 import PROGRAMS, run_program
+from .report import format_table
+
+KINDS = ("pmp", "pmpt", "hpmp")
+
+
+def run_rv8(machine: str = "rocket", scale: float = 1.0, programs=PROGRAMS) -> List[Dict[str, object]]:
+    """Figure 11-a rows: execution time (seconds) per program per scheme."""
+    freq = machine_params(machine).freq_mhz
+    rows = []
+    for program in programs:
+        row: Dict[str, object] = {"program": program}
+        for kind in KINDS:
+            result = run_program(program, kind, machine=machine, scale=scale)
+            row[kind] = result.seconds(freq) * 1e3  # milliseconds at sim scale
+        row["pmpt_overhead_%"] = 100.0 * (float(row["pmpt"]) / float(row["pmp"]) - 1.0)
+        row["hpmp_overhead_%"] = 100.0 * (float(row["hpmp"]) / float(row["pmp"]) - 1.0)
+        rows.append(row)
+    return rows
+
+
+def run_gap(machine: str = "rocket", scale: int = 12, kernels=KERNELS) -> List[Dict[str, object]]:
+    """Figure 11-b/c rows: normalized latency (%) per kernel per scheme."""
+    rows = []
+    for kernel in kernels:
+        cycles = {kind: run_kernel(kernel, kind, machine=machine, scale=scale).cycles for kind in KINDS}
+        rows.append(
+            {
+                "kernel": f"{kernel}-kron",
+                "pmp": 100.0,
+                "pmpt": 100.0 * cycles["pmpt"] / cycles["pmp"],
+                "hpmp": 100.0 * cycles["hpmp"] / cycles["pmp"],
+            }
+        )
+    return rows
+
+
+def main(gap_scale: int = 12) -> str:
+    chunks = [
+        format_table(
+            ["program", "pmp", "pmpt", "hpmp", "pmpt_overhead_%", "hpmp_overhead_%"],
+            run_rv8(),
+            title="Figure 11-a: RV8 on RocketCore, ms (paper: PMPT +0.0-1.7%, HPMP +0.0-0.5%)",
+        )
+    ]
+    for machine in ("rocket", "boom"):
+        chunks.append(
+            format_table(
+                ["kernel", "pmp", "pmpt", "hpmp"],
+                run_gap(machine, scale=gap_scale),
+                title=f"Figure 11-{'b' if machine == 'rocket' else 'c'}: GAP normalized latency (%), {machine} "
+                "(paper: PMPT +1.2-6.7% rocket / +1.8-9.6% boom)",
+            )
+        )
+    text = "\n\n".join(chunks)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""Figure 12: FunctionBench (a/b), the image chain (c), and Redis (d/e)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..common.params import machine_params
+from ..workloads.functionbench import FUNCTIONS, run_function
+from ..workloads.redis import COMMANDS, run_redis_benchmark
+from ..workloads.serverless_chain import IMAGE_SIZES, run_chain
+from .report import format_table
+
+KINDS = ("pmp", "pmpt", "hpmp")
+
+
+def run_functionbench_rows(
+    machine: str = "boom", include_host: bool = True, functions=FUNCTIONS
+) -> List[Dict[str, object]]:
+    """Normalized latency (%) per function; PL-PMP = 100."""
+    rows = []
+    for function in functions:
+        cycles: Dict[str, int] = {}
+        if include_host:
+            cycles["host-pmp"] = run_function(function, "pmp", machine=machine, secure=False).total_cycles
+        for kind in KINDS:
+            cycles[kind] = run_function(function, kind, machine=machine, secure=True).total_cycles
+        base = cycles["pmp"]
+        row: Dict[str, object] = {"function": function, "pl-pmp_kcycles": base / 1000.0}
+        for label, value in cycles.items():
+            if label != "pmp":
+                row[label] = 100.0 * value / base
+        row["pl-pmp"] = 100.0
+        rows.append(row)
+    return rows
+
+
+def run_chain_rows(machine: str = "boom", sizes=IMAGE_SIZES) -> List[Dict[str, object]]:
+    """Normalized end-to-end chain latency per image size; PL-PMP = 100."""
+    rows = []
+    for size in sizes:
+        cycles = {kind: run_chain(kind, size, machine=machine).total_cycles for kind in KINDS}
+        rows.append(
+            {
+                "image_size": size,
+                "pl-pmp_kcycles": cycles["pmp"] / 1000.0,
+                "pl-pmp": 100.0,
+                "pl-pmpt": 100.0 * cycles["pmpt"] / cycles["pmp"],
+                "pl-hpmp": 100.0 * cycles["hpmp"] / cycles["pmp"],
+            }
+        )
+    return rows
+
+
+def run_redis_rows(
+    machine: str = "rocket", commands=COMMANDS, requests: int = 50, num_keys: int = 32768
+) -> List[Dict[str, object]]:
+    """Normalized RPS (%) per command; Penglai-PMP = 100 (higher is better)."""
+    freq = machine_params(machine).freq_mhz
+    results = run_redis_benchmark(
+        machine=machine, kinds=KINDS, commands=commands, requests=requests, num_keys=num_keys
+    )
+    rows = []
+    for command in commands:
+        base_rps = results[command]["pmp"].rps(freq)
+        rows.append(
+            {
+                "command": command,
+                "pmp_rps": round(base_rps),
+                "pmp": 100.0,
+                "pmpt": 100.0 * results[command]["pmpt"].rps(freq) / base_rps,
+                "hpmp": 100.0 * results[command]["hpmp"].rps(freq) / base_rps,
+            }
+        )
+    return rows
+
+
+def main() -> str:
+    chunks = []
+    for machine, fig in (("rocket", "a"), ("boom", "b")):
+        chunks.append(
+            format_table(
+                ["function", "pl-pmp_kcycles", "host-pmp", "pl-pmp", "pmpt", "hpmp"],
+                run_functionbench_rows(machine),
+                title=f"Figure 12-{fig}: FunctionBench normalized latency (%), {machine} "
+                "(paper boom: PMPT +5.5-20.3%, HPMP +0.0-6.4%)",
+            )
+        )
+    chunks.append(
+        format_table(
+            ["image_size", "pl-pmp_kcycles", "pl-pmp", "pl-pmpt", "pl-hpmp"],
+            run_chain_rows(),
+            title="Figure 12-c: image chain (paper: PMPT +29.7%→+1.6% as size grows; HPMP +0.3-6.7%)",
+        )
+    )
+    for machine, fig in (("rocket", "d"), ("boom", "e")):
+        chunks.append(
+            format_table(
+                ["command", "pmp_rps", "pmp", "pmpt", "hpmp"],
+                run_redis_rows(machine),
+                title=f"Figure 12-{fig}: Redis normalized RPS (%), {machine} "
+                "(paper: PMPT -5.9..-18% rocket / -10.8..-31.8% boom; HPMP -3.3% / -4.5% avg)",
+            )
+        )
+    text = "\n\n".join(chunks)
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Report helpers shared by all experiment modules.
+
+Each experiment module exposes ``run(...) -> list[dict]`` (rows) and a
+``main()`` that prints an aligned table; the benchmark harness re-uses the
+same ``run`` functions so the numbers in ``bench_output.txt`` and the
+examples agree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Mapping[str, object]], title: str = "") -> str:
+    """Render rows as an aligned plain-text table."""
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        rendered.append([_format_cell(row.get(h, "")) for h in headers])
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row_text in enumerate(rendered):
+        lines.append("  ".join(cell.ljust(widths[j]) for j, cell in enumerate(row_text)))
+        if i == 0:
+            lines.append("  ".join("-" * widths[j] for j in range(len(headers))))
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def normalize(rows: List[Dict[str, object]], value_keys: Sequence[str], baseline_key: str) -> List[Dict[str, object]]:
+    """Return rows with value columns rescaled to % of the baseline column."""
+    out = []
+    for row in rows:
+        base = float(row[baseline_key])  # type: ignore[arg-type]
+        new_row = dict(row)
+        for key in value_keys:
+            new_row[key] = 100.0 * float(row[key]) / base if base else 0.0  # type: ignore[arg-type]
+        out.append(new_row)
+    return out
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (0 if empty)."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

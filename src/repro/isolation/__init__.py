@@ -1,0 +1,71 @@
+"""Physical-memory isolation: PMP, PMP Table, and HPMP (the paper's core)."""
+
+from .checker import CheckCost, IsolationChecker
+from .factory import CHECKER_KINDS, FlatSetup, NullChecker, make_flat_checker, segment_entry, tor_pair
+from .gpt import GPCChecker, GPT, GPTRegionRegister, PAS
+from .hpmp import HPMPChecker, HPMPRegisterFile, PMPTWCache, decode_table_addr, encode_table_addr
+from .iopmp import DMAEngine, DMAResult, IOPMP, IOPMPEntry
+from .pmp import (
+    AddrMatch,
+    PMPChecker,
+    PMPEntry,
+    PMPRegisterFile,
+    napot_addr,
+    napot_decode,
+)
+from .pmptable import (
+    MODE_2LEVEL,
+    MODE_3LEVEL,
+    MODE_FLAT,
+    PMPTable,
+    TableLookup,
+    leaf_pmpte_get,
+    leaf_pmpte_set,
+    leaf_pmpte_uniform,
+    root_pmpte_huge,
+    root_pmpte_pointer,
+    split_offset,
+    tables_needed,
+)
+
+__all__ = [
+    "AddrMatch",
+    "DMAEngine",
+    "DMAResult",
+    "GPCChecker",
+    "GPT",
+    "GPTRegionRegister",
+    "IOPMP",
+    "IOPMPEntry",
+    "PAS",
+    "CHECKER_KINDS",
+    "CheckCost",
+    "FlatSetup",
+    "HPMPChecker",
+    "HPMPRegisterFile",
+    "IsolationChecker",
+    "MODE_2LEVEL",
+    "MODE_3LEVEL",
+    "MODE_FLAT",
+    "NullChecker",
+    "PMPChecker",
+    "PMPEntry",
+    "PMPRegisterFile",
+    "PMPTWCache",
+    "PMPTable",
+    "TableLookup",
+    "decode_table_addr",
+    "encode_table_addr",
+    "leaf_pmpte_get",
+    "leaf_pmpte_set",
+    "leaf_pmpte_uniform",
+    "make_flat_checker",
+    "napot_addr",
+    "napot_decode",
+    "root_pmpte_huge",
+    "root_pmpte_pointer",
+    "segment_entry",
+    "split_offset",
+    "tables_needed",
+    "tor_pair",
+]

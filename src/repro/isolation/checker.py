@@ -1,0 +1,69 @@
+"""Physical-memory-protection checker interface.
+
+A checker validates one physical access and reports what the validation
+itself cost: extra memory references (permission-table reads, issued through
+the shared cache hierarchy) and cycles.  Three implementations exist:
+
+* :class:`~repro.isolation.pmp.PMPChecker` — pure segment isolation (RISC-V
+  PMP): zero extra references.
+* PMP-Table-only — an :class:`~repro.isolation.hpmp.HPMPChecker` whose only
+  active entry is in table mode (the paper's "PMP Table" baseline).
+* HPMP — segment + table entries mixed (the paper's contribution).
+
+Use :func:`repro.isolation.factory.make_checker` to build them consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+from ..common.types import AccessType, Permission, PrivilegeMode
+
+
+@dataclass(frozen=True)
+class CheckCost:
+    """Cost of one permission check.
+
+    ``refs`` counts extra memory references issued (0 for segment checks),
+    ``cycles`` the latency those references (plus fixed logic) incurred, and
+    ``perm`` the resolved permission — cached by TLB inlining.
+    """
+
+    cycles: int
+    refs: int
+    perm: Permission
+
+    def __add__(self, other: "CheckCost") -> "CheckCost":
+        return CheckCost(self.cycles + other.cycles, self.refs + other.refs, self.perm & other.perm)
+
+
+ZERO_COST = CheckCost(0, 0, Permission.rwx())
+
+
+class IsolationChecker(Protocol):
+    """Protocol implemented by all physical-memory-protection checkers."""
+
+    name: str
+
+    def check(
+        self,
+        paddr: int,
+        access: AccessType,
+        priv: PrivilegeMode = PrivilegeMode.SUPERVISOR,
+    ) -> CheckCost:
+        """Validate an access; return its cost or raise AccessFault."""
+        ...
+
+    def resolve(
+        self,
+        paddr: int,
+        priv: PrivilegeMode = PrivilegeMode.SUPERVISOR,
+    ) -> Optional[CheckCost]:
+        """Like check, but returns the full R/W/X permission without faulting.
+
+        Returns None when no permission applies (access would fault).  Used
+        at TLB-fill time so the inlined permission covers later accesses of
+        other types to the same page.
+        """
+        ...

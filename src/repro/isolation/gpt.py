@@ -1,0 +1,214 @@
+"""Granule Protection Table — the ARM CCA analogue (paper §9, "Generality").
+
+The paper argues HPMP's segment-as-huge-table idea transfers to other ISAs:
+ARM CCA's GPT maps every physical granule to a PAS (physical address space:
+Root / Secure / Non-secure / Realm), and a granule protection check (GPC)
+walks it on access.  This module models:
+
+* a 2-level GPT: L0 descriptors covering 1 GiB each (either a *block*
+  descriptor assigning one PAS to the whole gigabyte, or a pointer to an L1
+  page), and L1 entries packing 4-bit GPIs for 16 granules (4 KiB each);
+* the HPMP-style extension the paper proposes for CCA: per-region GPT base
+  registers whose config can flip to *segment mode*, recording the region's
+  PAS inline and skipping the walk — used for hot regions like page tables.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..common.errors import AccessFault, ConfigurationError
+from ..common.stats import StatGroup
+from ..common.types import GIB, PAGE_SHIFT, PAGE_SIZE, MemRegion
+from ..mem.allocator import FrameAllocator
+from ..mem.hierarchy import MemoryHierarchy
+from ..mem.physical import PhysicalMemory
+
+
+class PAS(enum.IntEnum):
+    """Physical address spaces (GPI encodings, simplified)."""
+
+    NO_ACCESS = 0
+    SECURE = 8
+    NONSECURE = 9
+    ROOT = 10
+    REALM = 11
+    ANY = 15  # "all access" GPI
+
+
+GRANULES_PER_L1_ENTRY = 16  # one 64-bit L1 entry covers 16 x 4 KiB granules
+L1_ENTRIES = 512
+L1_TABLE_SPAN = L1_ENTRIES * GRANULES_PER_L1_ENTRY * PAGE_SIZE  # 32 MiB
+L0_BLOCK_SPAN = 1 * GIB
+
+
+def l1_entry_set(entry: int, index: int, pas: PAS) -> int:
+    if not 0 <= index < GRANULES_PER_L1_ENTRY:
+        raise ConfigurationError(f"granule index {index} out of range")
+    shift = index * 4
+    return (entry & ~(0xF << shift)) | (int(pas) << shift)
+
+
+def l1_entry_get(entry: int, index: int) -> PAS:
+    if not 0 <= index < GRANULES_PER_L1_ENTRY:
+        raise ConfigurationError(f"granule index {index} out of range")
+    return PAS((entry >> (index * 4)) & 0xF)
+
+
+L0_VALID = 1 << 0
+L0_BLOCK = 1 << 1
+L0_PAS_SHIFT = 2
+L0_PTR_SHIFT = 12
+
+
+def l0_block(pas: PAS) -> int:
+    return L0_VALID | L0_BLOCK | (int(pas) << L0_PAS_SHIFT)
+
+
+def l0_pointer(l1_pa: int) -> int:
+    return L0_VALID | ((l1_pa >> PAGE_SHIFT) << L0_PTR_SHIFT)
+
+
+class GPT:
+    """One granule protection table over a physical region."""
+
+    def __init__(self, memory: PhysicalMemory, allocator: FrameAllocator, region: MemRegion):
+        if region.base % PAGE_SIZE or region.size % PAGE_SIZE:
+            raise ConfigurationError(f"GPT region {region} not page aligned")
+        self.memory = memory
+        self.allocator = allocator
+        self.region = region
+        self.table_pages: List[int] = []
+        # L0 table: one descriptor per GiB of coverage, packed in one page.
+        self._l0_entries = max(1, (region.size + L0_BLOCK_SPAN - 1) // L0_BLOCK_SPAN)
+        if self._l0_entries > PAGE_SIZE // 8:
+            raise ConfigurationError("GPT region exceeds single-page L0 coverage")
+        self.l0_pa = self._new_page()
+
+    def _new_page(self) -> int:
+        page = self.allocator.alloc()
+        self.memory.fill(page, PAGE_SIZE, 0)
+        self.table_pages.append(page)
+        return page
+
+    #: L1 pages needed to describe one GiB (1 GiB / 32 MiB per L1 page).
+    L1_PAGES_PER_GIB = L0_BLOCK_SPAN // L1_TABLE_SPAN
+
+    def _l1_for(self, offset: int, create: bool) -> Optional[int]:
+        """Base PA of the contiguous L1 table covering *offset*'s GiB."""
+        l0_index = offset // L0_BLOCK_SPAN
+        l0_addr = self.l0_pa + l0_index * 8
+        descriptor = self.memory.read64(l0_addr)
+        if not descriptor & L0_VALID or descriptor & L0_BLOCK:
+            if not create:
+                return None
+            # Shatter a block (or populate an empty slot) into an L1 table.
+            old_pas = PAS((descriptor >> L0_PAS_SHIFT) & 0xF) if descriptor & L0_VALID else PAS.NO_ACCESS
+            l1 = self.allocator.alloc_contiguous(self.L1_PAGES_PER_GIB)
+            uniform = 0
+            for i in range(GRANULES_PER_L1_ENTRY):
+                uniform = l1_entry_set(uniform, i, old_pas)
+            for page in range(self.L1_PAGES_PER_GIB):
+                page_pa = l1 + page * PAGE_SIZE
+                self.table_pages.append(page_pa)
+                for i in range(L1_ENTRIES):
+                    self.memory.write64(page_pa + i * 8, uniform)
+            self.memory.write64(l0_addr, l0_pointer(l1))
+            return l1
+        return (descriptor >> L0_PTR_SHIFT) << PAGE_SHIFT
+
+    def set_block(self, offset_gib: int, pas: PAS) -> None:
+        """Assign one PAS to a whole GiB via an L0 block descriptor."""
+        self.memory.write64(self.l0_pa + offset_gib * 8, l0_block(pas))
+
+    def set_granule(self, paddr: int, pas: PAS) -> None:
+        """Assign one 4 KiB granule's PAS (creates/shatters L1 as needed)."""
+        offset = paddr - self.region.base
+        if not self.region.contains(paddr):
+            raise ConfigurationError(f"PA {paddr:#x} outside GPT region")
+        l1 = self._l1_for(offset, create=True)
+        assert l1 is not None
+        addr = self._l1_entry_addr(l1, offset)
+        granule_index = (offset >> PAGE_SHIFT) % GRANULES_PER_L1_ENTRY
+        self.memory.write64(addr, l1_entry_set(self.memory.read64(addr), granule_index, pas))
+
+    @staticmethod
+    def _l1_entry_addr(l1_base: int, offset: int) -> int:
+        """PA of the L1 entry describing *offset* within its GiB."""
+        gib_offset = offset % L0_BLOCK_SPAN
+        entry_index = gib_offset // (GRANULES_PER_L1_ENTRY * PAGE_SIZE)
+        return l1_base + entry_index * 8
+
+    def set_range(self, base: int, size: int, pas: PAS) -> None:
+        """Granule-granular assignment over a page-aligned range."""
+        for offset in range(0, size, PAGE_SIZE):
+            self.set_granule(base + offset, pas)
+
+    def lookup(self, paddr: int) -> Tuple[PAS, Tuple[int, ...]]:
+        """Functional GPC walk: (pas, descriptor PAs read)."""
+        offset = paddr - self.region.base
+        if not self.region.contains(paddr):
+            raise ConfigurationError(f"PA {paddr:#x} outside GPT region")
+        l0_addr = self.l0_pa + (offset // L0_BLOCK_SPAN) * 8
+        descriptor = self.memory.read64(l0_addr)
+        if not descriptor & L0_VALID:
+            return PAS.NO_ACCESS, (l0_addr,)
+        if descriptor & L0_BLOCK:
+            return PAS((descriptor >> L0_PAS_SHIFT) & 0xF), (l0_addr,)
+        l1 = (descriptor >> L0_PTR_SHIFT) << PAGE_SHIFT
+        l1_addr = self._l1_entry_addr(l1, offset)
+        granule_index = (offset >> PAGE_SHIFT) % GRANULES_PER_L1_ENTRY
+        return l1_entry_get(self.memory.read64(l1_addr), granule_index), (l0_addr, l1_addr)
+
+
+@dataclass
+class GPTRegionRegister:
+    """The paper's proposed CCA extension: a per-region GPT base register
+    that can flip to segment mode (inline PAS, zero-walk)."""
+
+    region: MemRegion
+    gpt: Optional[GPT] = None  # table mode when set
+    inline_pas: Optional[PAS] = None  # segment mode when set
+
+    def __post_init__(self) -> None:
+        if (self.gpt is None) == (self.inline_pas is None):
+            raise ConfigurationError("exactly one of gpt / inline_pas must be set")
+
+
+class GPCChecker:
+    """Granule protection check with optional segmented regions."""
+
+    def __init__(self, hierarchy: Optional[MemoryHierarchy] = None):
+        self.hierarchy = hierarchy
+        self.regions: List[GPTRegionRegister] = []
+        self.stats = StatGroup("gpc")
+
+    def add_region(self, register: GPTRegionRegister) -> None:
+        self.regions.append(register)
+
+    def check(self, paddr: int, world: PAS) -> Tuple[int, int]:
+        """Validate an access from security state *world*; returns
+        (cycles, descriptor refs).  Raises AccessFault on mismatch."""
+        self.stats.bump("checks")
+        for register in self.regions:
+            if not register.region.contains(paddr):
+                continue
+            if register.inline_pas is not None:
+                pas = register.inline_pas
+                cycles, refs = 0, 0
+            else:
+                pas, addrs = register.gpt.lookup(paddr)
+                refs = len(addrs)
+                cycles = 0
+                for addr in addrs:
+                    if self.hierarchy is not None:
+                        cycles += self.hierarchy.access(addr)
+                self.stats.bump("gpt_refs", refs)
+            if pas in (world, PAS.ANY):
+                return cycles, refs
+            self.stats.bump("faults")
+            raise AccessFault(paddr, "gpc", f"granule PAS {pas.name} != world {world.name}")
+        self.stats.bump("faults")
+        raise AccessFault(paddr, "gpc", "no GPT region covers this address")

@@ -1,0 +1,222 @@
+"""HPMP — Hybrid Physical Memory Protection (paper §4.2).
+
+HPMP reuses the PMP register file.  Each entry's config register gains a
+``T`` bit (reserved bit 5): with ``T=0`` the entry is a classic segment;
+with ``T=1`` the entry's region is permission-managed by a PMP Table whose
+base address lives in the *next* entry's addr register (Mode in bits 63:62,
+PPN in bits 43:0 — Figure 6-b).  Entries keep PMP's static priority: the
+lowest-numbered matching entry decides an access.
+
+The checker charges every pmpte read through the shared cache hierarchy, so
+permission-table walks compete with data for cache capacity.  An optional
+PMPTW-Cache (8 entries by default, fully associative LRU — §8.9) caches hot
+pmptes and skips their memory references.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from ..common.errors import AccessFault, ConfigurationError
+from ..common.stats import StatGroup
+from ..common.types import AccessType, Permission, PrivilegeMode
+from ..mem.hierarchy import MemoryHierarchy
+from .checker import CheckCost
+from .pmp import AddrMatch, PMPEntry, PMPRegisterFile
+from .pmptable import PMPTable
+
+ADDR_MODE_SHIFT = 62
+ADDR_PPN_MASK = (1 << 44) - 1
+
+#: Fixed logic latency charged per table-walk level resolved from the
+#: PMPTW-Cache instead of memory.
+PMPTW_CACHE_HIT_CYCLES = 1
+
+
+def encode_table_addr(root_pa: int, mode: int) -> int:
+    """Encode a PMP-table base into the successor entry's addr register."""
+    if root_pa % 4096:
+        raise ConfigurationError(f"table base {root_pa:#x} not page aligned")
+    return (mode << ADDR_MODE_SHIFT) | ((root_pa >> 12) & ADDR_PPN_MASK)
+
+
+def decode_table_addr(addr: int) -> "tuple[int, int]":
+    """Decode an addr register into (root_pa, mode)."""
+    return ((addr & ADDR_PPN_MASK) << 12), (addr >> ADDR_MODE_SHIFT) & 0x3
+
+
+class PMPTWCache:
+    """Dedicated cache for PMP-table walker entries (paper §8.9).
+
+    Fully associative, LRU, keyed by pmpte physical address; a hit removes
+    that level's memory reference from the walk.
+    """
+
+    def __init__(self, entries: int = 8):
+        self.capacity = entries
+        self._entries: OrderedDict = OrderedDict()
+        self.stats = StatGroup("pmptw_cache")
+
+    def probe(self, pmpte_addr: int) -> bool:
+        if self.capacity == 0:
+            return False
+        if pmpte_addr in self._entries:
+            self._entries.move_to_end(pmpte_addr)
+            self.stats.bump("hit")
+            return True
+        self.stats.bump("miss")
+        return False
+
+    def insert(self, pmpte_addr: int) -> None:
+        if self.capacity == 0:
+            return
+        if pmpte_addr in self._entries:
+            self._entries.move_to_end(pmpte_addr)
+            return
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[pmpte_addr] = None
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class HPMPRegisterFile(PMPRegisterFile):
+    """PMP register file extended with table-mode entry bindings.
+
+    ``bind_table(i, table)`` puts entry *i* in table mode and programs entry
+    *i+1*'s addr register with the table base (the simulator additionally
+    keeps the :class:`PMPTable` object so the walker can reuse its decoding
+    logic; the register encoding is kept consistent and is what tests check).
+    """
+
+    def __init__(self, num_entries: int = 16):
+        super().__init__(num_entries)
+        self._tables: Dict[int, PMPTable] = {}
+
+    def bind_table(self, index: int, entry: PMPEntry, table: PMPTable) -> None:
+        """Program entry *index* in table mode backed by *table*."""
+        if index + 1 >= len(self.entries):
+            raise ConfigurationError("the last HPMP entry cannot be in table mode")
+        region = table.region
+        if entry.match is AddrMatch.OFF:
+            raise ConfigurationError("table-mode entry must have an active address match")
+        entry.table = True
+        self.set_entry(index, entry)
+        base_holder = PMPEntry(addr=encode_table_addr(table.root_pa, table.mode))
+        self.set_entry(index + 1, base_holder)
+        self._tables[index] = table
+        # Sanity: the entry's matched region must not exceed the table's.
+        decoded = self.region(index)
+        if decoded is not None and not (
+            region.base <= decoded.base and decoded.end <= region.end
+        ):
+            raise ConfigurationError(
+                f"entry {index} region {decoded} outside table region {region}"
+            )
+
+    def unbind_table(self, index: int) -> None:
+        """Return entry *index* (and its base-holder successor) to OFF."""
+        self._tables.pop(index, None)
+        self.clear_entry(index)
+        if index + 1 < len(self.entries):
+            self.clear_entry(index + 1)
+
+    def table_for(self, index: int) -> PMPTable:
+        try:
+            return self._tables[index]
+        except KeyError:
+            raise ConfigurationError(f"entry {index} has no bound PMP table") from None
+
+    def set_entry(self, index: int, entry: PMPEntry) -> None:
+        super().set_entry(index, entry)
+        if not entry.table:
+            self._tables.pop(index, None)
+
+
+class HPMPChecker:
+    """The hybrid checker: segment entries are free, table entries walk DRAM."""
+
+    def __init__(
+        self,
+        regfile: Optional[HPMPRegisterFile] = None,
+        hierarchy: Optional[MemoryHierarchy] = None,
+        pmptw_cache_entries: int = 8,
+        pmptw_cache_enabled: bool = False,
+        name: str = "hpmp",
+    ):
+        self.name = name
+        self.regfile = regfile if regfile is not None else HPMPRegisterFile()
+        self.hierarchy = hierarchy
+        self.pmptw_cache = PMPTWCache(pmptw_cache_entries if pmptw_cache_enabled else 0)
+        self.stats = StatGroup(name)
+
+    def _walk_table(self, index: int, paddr: int) -> CheckCost:
+        """Walk the PMP table bound to entry *index* for *paddr*."""
+        table = self.regfile.table_for(index)
+        lookup = table.lookup(paddr)
+        cycles = 0
+        refs = 0
+        for pmpte_addr in lookup.pmpte_addrs:
+            if self.pmptw_cache.probe(pmpte_addr):
+                cycles += PMPTW_CACHE_HIT_CYCLES
+                continue
+            refs += 1
+            if self.hierarchy is not None:
+                cycles += self.hierarchy.access(pmpte_addr)
+            self.pmptw_cache.insert(pmpte_addr)
+        self.stats.bump("table_walks")
+        self.stats.bump("pmpte_refs", refs)
+        if lookup.perm is None:
+            raise AccessFault(paddr, "walk", f"invalid pmpte in table of entry {index}")
+        return CheckCost(cycles, refs, lookup.perm)
+
+    def _resolve(self, paddr: int, priv: PrivilegeMode) -> Optional[CheckCost]:
+        index = self.regfile.match(paddr)
+        if index is None:
+            if priv is PrivilegeMode.MACHINE:
+                return CheckCost(0, 0, Permission.rwx())
+            return None
+        entry = self.regfile.entries[index]
+        if priv is PrivilegeMode.MACHINE and not entry.locked:
+            return CheckCost(0, 0, Permission.rwx())
+        if entry.table:
+            try:
+                return self._walk_table(index, paddr)
+            except AccessFault:
+                return None
+        self.stats.bump("seg_checks")
+        return CheckCost(0, 0, entry.perm)
+
+    def check(
+        self,
+        paddr: int,
+        access: AccessType,
+        priv: PrivilegeMode = PrivilegeMode.SUPERVISOR,
+    ) -> CheckCost:
+        """Validate the access; raise :class:`AccessFault` if denied."""
+        self.stats.bump("checks")
+        cost = self._resolve(paddr, priv)
+        if cost is None or not cost.perm.allows(access):
+            self.stats.bump("faults")
+            raise AccessFault(paddr, access.value, f"{self.name} denied ({priv.name})")
+        return cost
+
+    def resolve(
+        self,
+        paddr: int,
+        priv: PrivilegeMode = PrivilegeMode.SUPERVISOR,
+    ) -> Optional[CheckCost]:
+        """Permission lookup for TLB inlining (None = no access)."""
+        cost = self._resolve(paddr, priv)
+        if cost is not None and cost.perm == Permission.none():
+            return None
+        return cost
+
+    def flush_caches(self) -> None:
+        """Drop walker caches (monitor calls this when tables change)."""
+        self.pmptw_cache.flush()

@@ -1,0 +1,8 @@
+"""Memory substrate: sparse physical memory, caches, hierarchy, allocator."""
+
+from .allocator import FrameAllocator
+from .cache import Cache
+from .hierarchy import MemoryHierarchy
+from .physical import PhysicalMemory
+
+__all__ = ["Cache", "FrameAllocator", "MemoryHierarchy", "PhysicalMemory"]

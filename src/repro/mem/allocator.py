@@ -1,0 +1,117 @@
+"""Physical frame allocator with controllable fragmentation.
+
+The OS-kernel model and the secure monitor both carve frames from here.  The
+allocator hands out 4 KiB frames either contiguously (bump-pointer) or in a
+deliberately scattered order, which is how the fragmentation experiments
+(paper §8.8 / Figure 15) build "fragmented physical pages" layouts.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Set
+
+from ..common.errors import MemoryError_
+from ..common.types import PAGE_SIZE, MemRegion
+
+
+class FrameAllocator:
+    """Allocates 4 KiB physical frames from a region.
+
+    Parameters
+    ----------
+    region:
+        The physical range to allocate from.
+    scatter:
+        If True, frames are handed out in a pseudo-random order (seeded),
+        modelling a long-running system with fragmented free lists.
+    seed:
+        Seed for the scatter order.
+    """
+
+    def __init__(self, region: MemRegion, scatter: bool = False, seed: int = 0):
+        if region.base % PAGE_SIZE or region.size % PAGE_SIZE:
+            raise MemoryError_(f"allocator region {region} not page aligned")
+        self.region = region
+        self._free: List[int] = list(range(region.base, region.end, PAGE_SIZE))
+        if scatter:
+            random.Random(seed).shuffle(self._free)
+        self._free.reverse()  # pop() then yields ascending (or shuffled) order
+        self._allocated: Set[int] = set()
+        self._rng = random.Random(seed ^ 0x5EED)
+
+    @property
+    def free_frames(self) -> int:
+        return len(self._free)
+
+    @property
+    def allocated_frames(self) -> int:
+        return len(self._allocated)
+
+    def alloc(self) -> int:
+        """Allocate one frame; returns its base PA."""
+        if not self._free:
+            raise MemoryError_(f"frame allocator exhausted ({self.region})")
+        frame = self._free.pop()
+        self._allocated.add(frame)
+        return frame
+
+    def alloc_scattered(self) -> int:
+        """Allocate one frame from a pseudo-random free-list position.
+
+        Models a long-running buddy allocator whose free lists are shuffled
+        by churn — used for page-table pages in unmodified-kernel baselines,
+        whose PT pages end up dispersed through DRAM.
+        """
+        if not self._free:
+            raise MemoryError_(f"frame allocator exhausted ({self.region})")
+        index = self._rng.randrange(len(self._free))
+        self._free[index], self._free[-1] = self._free[-1], self._free[index]
+        frame = self._free.pop()
+        self._allocated.add(frame)
+        return frame
+
+    def alloc_contiguous(self, num_frames: int, align_frames: int = 1) -> int:
+        """Allocate *num_frames* physically contiguous frames; return base PA.
+
+        Scans the free list for a contiguous run (optionally aligned to
+        *align_frames* frames, for NAPOT-shaped regions), so it works even on
+        a scattered allocator (at O(free) cost) — mirroring an OS falling
+        back to compaction/CMA for contiguous requests.
+        """
+        if num_frames <= 0:
+            raise MemoryError_("alloc_contiguous needs a positive frame count")
+        if align_frames <= 0:
+            raise MemoryError_("align_frames must be positive")
+        step = align_frames * PAGE_SIZE
+        free_set = set(self._free)
+        first_aligned = (self.region.base + step - 1) // step * step
+        for base in range(first_aligned, self.region.end - num_frames * PAGE_SIZE + 1, step):
+            if all(base + i * PAGE_SIZE in free_set for i in range(num_frames)):
+                wanted = {base + i * PAGE_SIZE for i in range(num_frames)}
+                self._free = [f for f in self._free if f not in wanted]
+                self._allocated |= wanted
+                return base
+        raise MemoryError_(f"no contiguous run of {num_frames} frames in {self.region}")
+
+    def free(self, frame: int) -> None:
+        """Return one frame to the pool."""
+        if frame not in self._allocated:
+            raise MemoryError_(f"double free / foreign frame {frame:#x}")
+        self._allocated.discard(frame)
+        self._free.append(frame)
+
+    def reserve(self, base: int, size: int) -> None:
+        """Remove ``[base, base+size)`` from the pool (e.g. monitor memory)."""
+        wanted = set(range(base, base + size, PAGE_SIZE))
+        missing = wanted - set(self._free)
+        if missing:
+            raise MemoryError_(f"reserve: {len(missing)} frames not free (first {min(missing):#x})")
+        self._free = [f for f in self._free if f not in wanted]
+        self._allocated |= wanted
+
+    def owns(self, frame: int) -> Optional[bool]:
+        """True if allocated, False if free, None if outside the region."""
+        if not self.region.contains(frame, PAGE_SIZE):
+            return None
+        return frame in self._allocated

@@ -1,0 +1,109 @@
+"""Generic set-associative cache timing model.
+
+The cache tracks which line addresses are resident (tags only — data lives in
+:class:`repro.mem.physical.PhysicalMemory`).  ``probe`` answers hit/miss,
+``insert`` fills a line and returns the victim tag if one was evicted.
+Replacement is true LRU by default; ``random`` is available for ablations.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from collections import OrderedDict
+from typing import List, Optional
+
+from ..common.errors import ConfigurationError
+from ..common.params import CacheParams
+from ..common.stats import StatGroup
+from ..common.types import is_pow2
+
+
+class Cache:
+    """One level of a set-associative cache.
+
+    Parameters
+    ----------
+    params:
+        Geometry (size, ways, line size) and hit latency.
+    replacement:
+        ``"lru"`` (default) or ``"random"``.
+    seed:
+        RNG seed used only by random replacement, for reproducibility.
+    """
+
+    def __init__(self, params: CacheParams, replacement: str = "lru", seed: int = 0):
+        if params.size_bytes % (params.ways * params.line_bytes) != 0:
+            raise ConfigurationError(
+                f"{params.name}: size {params.size_bytes} not divisible by "
+                f"ways*line ({params.ways}*{params.line_bytes})"
+            )
+        if not is_pow2(params.line_bytes):
+            raise ConfigurationError(f"{params.name}: line size must be a power of two")
+        self.params = params
+        self.num_sets = params.sets
+        if not is_pow2(self.num_sets):
+            raise ConfigurationError(f"{params.name}: set count {self.num_sets} not a power of two")
+        if replacement not in ("lru", "random"):
+            raise ConfigurationError(f"unknown replacement policy {replacement!r}")
+        self._replacement = replacement
+        self._rng = _random.Random(seed)
+        self._line_shift = params.line_bytes.bit_length() - 1
+        self._set_mask = self.num_sets - 1
+        # One OrderedDict per set: line_addr -> None, most recently used last.
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self.stats = StatGroup(params.name)
+
+    def _index(self, paddr: int) -> int:
+        return (paddr >> self._line_shift) & self._set_mask
+
+    def line_addr(self, paddr: int) -> int:
+        """The line-aligned address containing *paddr*."""
+        return paddr >> self._line_shift << self._line_shift
+
+    def probe(self, paddr: int, update_lru: bool = True) -> bool:
+        """Return True (hit) if the line holding *paddr* is resident."""
+        line = self.line_addr(paddr)
+        cset = self._sets[self._index(paddr)]
+        if line in cset:
+            if update_lru:
+                cset.move_to_end(line)
+            self.stats.bump("hit")
+            return True
+        self.stats.bump("miss")
+        return False
+
+    def insert(self, paddr: int) -> Optional[int]:
+        """Fill the line holding *paddr*; return the evicted line address, if any."""
+        line = self.line_addr(paddr)
+        cset = self._sets[self._index(paddr)]
+        if line in cset:
+            cset.move_to_end(line)
+            return None
+        victim: Optional[int] = None
+        if len(cset) >= self.params.ways:
+            if self._replacement == "lru":
+                victim, _ = cset.popitem(last=False)
+            else:
+                victim = self._rng.choice(list(cset))
+                del cset[victim]
+            self.stats.bump("eviction")
+        cset[line] = None
+        return victim
+
+    def invalidate(self, paddr: int) -> bool:
+        """Drop the line holding *paddr*; return True if it was resident."""
+        line = self.line_addr(paddr)
+        cset = self._sets[self._index(paddr)]
+        if line in cset:
+            del cset[line]
+            return True
+        return False
+
+    def flush(self) -> None:
+        """Empty the cache."""
+        for cset in self._sets:
+            cset.clear()
+
+    def resident_lines(self) -> int:
+        """Number of lines currently resident (for tests)."""
+        return sum(len(s) for s in self._sets)

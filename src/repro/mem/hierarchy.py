@@ -1,0 +1,91 @@
+"""Three-level cache hierarchy + DRAM latency model.
+
+``access(paddr)`` returns the cycle cost of one memory reference, probing
+L1 → L2 → LLC and filling all levels on the way back (inclusive fill).  This
+is the single timing primitive every other component (PTW, PMPT walker,
+data path) uses, so permission-table walks and page-table walks naturally
+share cache capacity with data — the effect the paper's evaluation hinges on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..common.params import MachineParams
+from ..common.stats import StatGroup
+from .cache import Cache
+
+
+class MemoryHierarchy:
+    """L1D/L2/LLC caches in front of a fixed-latency DRAM.
+
+    The model is tag-only and latency-additive: a reference that misses to
+    level *k* pays the sum of hit latencies of every level probed plus, on a
+    full miss, the DRAM latency.  Instruction-side traffic may be routed
+    through ``access(..., instruction=True)`` which probes the L1I instead of
+    the L1D.
+    """
+
+    def __init__(self, params: MachineParams, seed: int = 0):
+        self.params = params
+        self.l1d = Cache(params.l1d, seed=seed)
+        self.l1i = Cache(params.l1i, seed=seed + 1)
+        self.l2 = Cache(params.l2, seed=seed + 2)
+        self.llc = Cache(params.llc, seed=seed + 3)
+        self.stats = StatGroup("hierarchy")
+
+    def access(self, paddr: int, instruction: bool = False) -> int:
+        """Perform one reference; return its cycle cost and update occupancy."""
+        l1 = self.l1i if instruction else self.l1d
+        self.stats.bump("refs")
+        cycles = l1.params.hit_latency
+        if l1.probe(paddr):
+            return cycles
+        cycles += self.l2.params.hit_latency
+        if self.l2.probe(paddr):
+            l1.insert(paddr)
+            return cycles
+        cycles += self.llc.params.hit_latency
+        if self.llc.probe(paddr):
+            self.l2.insert(paddr)
+            l1.insert(paddr)
+            return cycles
+        cycles += self.params.dram_latency
+        self.stats.bump("dram_refs")
+        self.llc.insert(paddr)
+        self.l2.insert(paddr)
+        l1.insert(paddr)
+        return cycles
+
+    def peek_latency(self, paddr: int, instruction: bool = False) -> int:
+        """Latency ``access`` would charge, without changing any state."""
+        l1 = self.l1i if instruction else self.l1d
+        cycles = l1.params.hit_latency
+        if l1.probe(paddr, update_lru=False):
+            return cycles
+        cycles += self.l2.params.hit_latency
+        if self.l2.probe(paddr, update_lru=False):
+            return cycles
+        cycles += self.llc.params.hit_latency
+        if self.llc.probe(paddr, update_lru=False):
+            return cycles
+        return cycles + self.params.dram_latency
+
+    def warm(self, paddr: int) -> None:
+        """Install the line holding *paddr* at every level (no timing)."""
+        for cache in (self.llc, self.l2, self.l1d):
+            cache.insert(paddr)
+
+    def flush(self, levels: Optional[str] = None) -> None:
+        """Flush caches: all by default, or a subset like ``"l1"`` / ``"l1l2"``."""
+        if levels is None:
+            for cache in (self.l1d, self.l1i, self.l2, self.llc):
+                cache.flush()
+            return
+        if "l1" in levels:
+            self.l1d.flush()
+            self.l1i.flush()
+        if "l2" in levels:
+            self.l2.flush()
+        if "llc" in levels:
+            self.llc.flush()

@@ -1,0 +1,32 @@
+"""Paging: RISC-V page tables, page-walk cache, and TLBs."""
+
+from .pagetable import (
+    MODES,
+    PageTable,
+    Translation,
+    WalkStep,
+    pte_encode,
+    pte_is_leaf,
+    pte_is_valid,
+    pte_perm,
+    pte_pointer,
+    pte_ppn,
+)
+from .ptecache import PageWalkCache
+from .tlb import TLB, TLBEntry
+
+__all__ = [
+    "MODES",
+    "PageTable",
+    "PageWalkCache",
+    "TLB",
+    "TLBEntry",
+    "Translation",
+    "WalkStep",
+    "pte_encode",
+    "pte_is_leaf",
+    "pte_is_valid",
+    "pte_perm",
+    "pte_pointer",
+    "pte_ppn",
+]

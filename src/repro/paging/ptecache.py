@@ -1,0 +1,77 @@
+"""Page-walk cache (the paper's "PTECache" / PWC).
+
+Caches intermediate walk state keyed by the translation prefix, so a walk can
+skip the upper radix levels it has recently resolved (Table 2's per-level
+PWC hit/miss states).  Fully associative, LRU, 8 entries by default
+(Table 1); Figure 17 sweeps the entry count.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from ..common.stats import StatGroup
+
+
+class PageWalkCache:
+    """Longest-prefix page-walk cache.
+
+    An entry maps ``(root_pa, level, vpn_prefix)`` to the PA of the level-
+    *level* table page that the walk would reach after resolving all levels
+    above *level*.  ``lookup`` returns the deepest cached entry so the walker
+    resumes as low in the tree as possible.
+    """
+
+    def __init__(self, entries: int = 8):
+        self.capacity = entries
+        self._entries: OrderedDict = OrderedDict()
+        self.stats = StatGroup("pwc")
+
+    @staticmethod
+    def _prefix(va: int, level: int, levels: int) -> int:
+        """The VPN bits above *level* (the part of VA resolved so far)."""
+        shift = 12 + 9 * (level + 1)
+        return va >> shift
+
+    def lookup(self, root_pa: int, va: int, levels: int) -> Optional[Tuple[int, int]]:
+        """Return ``(level, table_pa)`` for the deepest cached prefix, or None.
+
+        ``level`` is the radix level the walker should continue at (it still
+        has to read the PTE at that level).
+        """
+        if self.capacity == 0:
+            return None
+        best: Optional[Tuple[int, int]] = None
+        for level in range(0, levels - 1):  # deepest-first: level 0 has the longest prefix
+            key = (root_pa, level, self._prefix(va, level, levels))
+            table_pa = self._entries.get(key)
+            if table_pa is not None:
+                self._entries.move_to_end(key)
+                best = (level, table_pa)
+                break
+        if best is None:
+            self.stats.bump("miss")
+        else:
+            self.stats.bump("hit")
+        return best
+
+    def insert(self, root_pa: int, va: int, level: int, table_pa: int, levels: int) -> None:
+        """Record that the level-*level* table page for *va*'s prefix is *table_pa*."""
+        if self.capacity == 0:
+            return
+        key = (root_pa, level, self._prefix(va, level, levels))
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = table_pa
+            return
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[key] = table_pa
+
+    def flush(self) -> None:
+        """Drop all entries (e.g. on sfence.vma)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

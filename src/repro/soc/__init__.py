@@ -1,0 +1,18 @@
+"""SoC model: the timed machine and the full-system builder."""
+
+from .cpu import CPU, CPUResult, Instruction, assemble
+from .machine import AccessResult, Machine, TraceResult
+from .system import DRAM_BASE, AddressSpace, System
+
+__all__ = [
+    "AccessResult",
+    "AddressSpace",
+    "CPU",
+    "CPUResult",
+    "DRAM_BASE",
+    "Instruction",
+    "Machine",
+    "System",
+    "TraceResult",
+    "assemble",
+]

@@ -1,0 +1,241 @@
+"""The simulated SoC: TLBs + page-table walker + checker + cache hierarchy.
+
+:class:`Machine` implements the timed memory-access path of Figure 2:
+
+1. TLB lookup (L1 then L2).  A hit with an inlined checker permission costs
+   no isolation work at all (the paper's TLB-inlining optimization).
+2. On a miss, the page-table walker resolves the VA, starting from the
+   deepest page-walk-cache (PWC) prefix.  *Every* page-table reference is
+   first validated by the attached isolation checker — this is where a
+   table-mode checker adds its extra dimension of page walks — and then
+   charged through the cache hierarchy.
+3. The data page is validated (result inlined into the TLB entry) and the
+   data reference itself is charged.
+
+Out-of-order overlap is modelled by ``MachineParams.mlp_factor``: BOOM hides
+part of the walk latency behind other work for loads; stores' permission
+checks stay on the critical path (observed in the paper as larger ``sd``
+deltas).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from ..common.errors import AccessFault, PageFault
+from ..common.params import MachineParams
+from ..common.stats import StatGroup
+from ..common.types import PAGE_MASK, PAGE_SHIFT, AccessType, PrivilegeMode
+from ..isolation.checker import IsolationChecker
+from ..isolation.factory import NullChecker
+from ..mem.hierarchy import MemoryHierarchy
+from ..mem.physical import PhysicalMemory
+from ..paging.pagetable import PageTable
+from ..paging.ptecache import PageWalkCache
+from ..paging.tlb import TLB, TLBEntry
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one timed memory access."""
+
+    cycles: int
+    paddr: int
+    tlb_hit: bool
+    pt_refs: int  # page-table references (0 on TLB hit)
+    checker_refs: int  # permission-table references
+    data_refs: int  # always 1
+
+    @property
+    def total_refs(self) -> int:
+        return self.pt_refs + self.checker_refs + self.data_refs
+
+
+@dataclass(frozen=True)
+class TraceResult:
+    """Aggregate outcome of a trace run."""
+
+    accesses: int
+    cycles: int
+    pt_refs: int
+    checker_refs: int
+    tlb_hits: int
+
+    @property
+    def cycles_per_access(self) -> float:
+        return self.cycles / self.accesses if self.accesses else 0.0
+
+
+class Machine:
+    """One simulated hart plus its memory system.
+
+    Parameters
+    ----------
+    params:
+        Timing/geometry parameter set (``rocket()`` or ``boom()``).
+    memory:
+        Shared physical memory (created by the caller so page tables,
+        permission tables and workloads agree on one address space).
+    checker:
+        Isolation checker; defaults to :class:`NullChecker` until
+        ``attach_checker`` is called.
+    """
+
+    def __init__(
+        self,
+        params: MachineParams,
+        memory: PhysicalMemory,
+        checker: Optional[IsolationChecker] = None,
+        seed: int = 0,
+    ):
+        self.params = params
+        self.memory = memory
+        self.hierarchy = MemoryHierarchy(params, seed=seed)
+        self.tlb = TLB(params.l1_tlb, params.l2_tlb)
+        self.pwc = PageWalkCache(params.ptecache_entries)
+        self.checker: IsolationChecker = checker if checker is not None else NullChecker()
+        self.stats = StatGroup("machine")
+
+    def attach_checker(self, checker: IsolationChecker) -> None:
+        """Install the isolation checker (flushes stale inlined permissions)."""
+        self.checker = checker
+        self.tlb.flush()
+
+    # -- maintenance operations --------------------------------------------
+
+    def sfence_vma(self, asid: Optional[int] = None) -> int:
+        """Flush TLB (+PWC); returns the cycle cost charged."""
+        self.tlb.flush(asid)
+        self.pwc.flush()
+        return self.params.tlb_flush_cycles
+
+    def cold_boot(self) -> None:
+        """Reset all cached state: caches, TLBs, PWC, checker caches."""
+        self.hierarchy.flush()
+        self.tlb.flush()
+        self.pwc.flush()
+        flush = getattr(self.checker, "flush_caches", None)
+        if flush is not None:
+            flush()
+
+    # -- the timed access path ----------------------------------------------
+
+    def _mlp(self, cycles: float, access: AccessType) -> int:
+        """Apply out-of-order overlap to off-critical-path latency."""
+        if access is AccessType.WRITE:
+            return int(round(cycles))  # store checks stay on the commit path
+        return int(round(cycles * self.params.mlp_factor))
+
+    def _walk(
+        self,
+        page_table: PageTable,
+        va: int,
+        access: AccessType,
+        priv: PrivilegeMode,
+    ) -> Tuple[TLBEntry, int, int, int]:
+        """Timed page-table walk; returns (tlb entry, cycles, pt_refs, checker_refs)."""
+        cycles = 0
+        pt_refs = 0
+        checker_refs = 0
+        levels = page_table.levels
+        start_level = levels - 1
+        table_pa = page_table.root_pa
+        cached = self.pwc.lookup(page_table.root_pa, va, levels)
+        if cached is not None:
+            start_level, table_pa = cached
+        walk = page_table.walk(va)  # functional result; we re-time the steps
+        for i, step in enumerate(walk.steps):
+            if step.level > start_level:
+                continue  # resolved by the PWC
+            cost = self.checker.check(step.pte_addr, AccessType.READ, priv)
+            cycles += cost.cycles
+            checker_refs += cost.refs
+            cycles += self.hierarchy.access(step.pte_addr)
+            pt_refs += 1
+            if i + 1 < len(walk.steps):
+                # A pointer PTE: remember the child table for future walks.
+                child_table = walk.steps[i + 1].pte_addr & ~PAGE_MASK
+                self.pwc.insert(page_table.root_pa, va, step.level - 1, child_table, levels)
+        if not walk.perm.allows(access):
+            raise PageFault(va, f"page permission {walk.perm} denies {access.value}")
+        if priv is PrivilegeMode.USER and not walk.user:
+            raise PageFault(va, "user access to supervisor page")
+        entry = TLBEntry(
+            vpn=va >> PAGE_SHIFT,
+            ppn=(walk.paddr & ~PAGE_MASK) >> PAGE_SHIFT,
+            perm=walk.perm,
+            user=walk.user,
+        )
+        return entry, cycles, pt_refs, checker_refs
+
+    def access(
+        self,
+        page_table: PageTable,
+        va: int,
+        access: AccessType = AccessType.READ,
+        priv: PrivilegeMode = PrivilegeMode.USER,
+        asid: int = 0,
+    ) -> AccessResult:
+        """Perform one timed memory access through the full path."""
+        self.stats.bump("accesses")
+        entry, cycles = self.tlb.lookup(va, asid)
+        pt_refs = 0
+        checker_refs = 0
+        walk_cycles = 0
+        if entry is None:
+            self.stats.bump("tlb_misses")
+            entry, walk_cycles, pt_refs, checker_refs = self._walk(page_table, va, access, priv)
+            entry.asid = asid
+            # Data-page check, inlined into the TLB entry at fill time.
+            paddr_page = entry.ppn << PAGE_SHIFT
+            cost = self.checker.check(paddr_page, access, priv)
+            walk_cycles += cost.cycles
+            checker_refs += cost.refs
+            if self.params.tlb_inlining:
+                entry.checker_perm = cost.perm
+            self.tlb.fill(entry)
+            tlb_hit = False
+        else:
+            tlb_hit = True
+            if not entry.perm.allows(access):
+                raise PageFault(va, f"page permission {entry.perm} denies {access.value}")
+            if entry.checker_perm is not None and self.params.tlb_inlining:
+                if not entry.checker_perm.allows(access):
+                    raise AccessFault(entry.ppn << PAGE_SHIFT, access.value, "inlined perm denies")
+            else:
+                cost = self.checker.check(entry.ppn << PAGE_SHIFT, access, priv)
+                walk_cycles += cost.cycles
+                checker_refs += cost.refs
+                if self.params.tlb_inlining:
+                    entry.checker_perm = cost.perm
+        paddr = (entry.ppn << PAGE_SHIFT) | (va & PAGE_MASK)
+        cycles += self._mlp(walk_cycles, access)
+        cycles += self.hierarchy.access(paddr, instruction=access is AccessType.FETCH)
+        self.stats.bump("cycles", cycles)
+        self.stats.bump("pt_refs", pt_refs)
+        self.stats.bump("checker_refs", checker_refs)
+        return AccessResult(cycles, paddr, tlb_hit, pt_refs, checker_refs, 1)
+
+    def run_trace(
+        self,
+        page_table: PageTable,
+        trace: Iterable[Tuple[int, AccessType]],
+        priv: PrivilegeMode = PrivilegeMode.USER,
+        asid: int = 0,
+        compute_cycles_per_access: int = 0,
+    ) -> TraceResult:
+        """Run a (va, access-type) trace; returns aggregate timing.
+
+        ``compute_cycles_per_access`` adds a fixed non-memory cost per trace
+        element, modelling the compute work between memory operations.
+        """
+        accesses = cycles = pt_refs = checker_refs = tlb_hits = 0
+        for va, access in trace:
+            result = self.access(page_table, va, access, priv, asid)
+            accesses += 1
+            cycles += result.cycles + compute_cycles_per_access
+            pt_refs += result.pt_refs
+            checker_refs += result.checker_refs
+            tlb_hits += 1 if result.tlb_hit else 0
+        return TraceResult(accesses, cycles, pt_refs, checker_refs, tlb_hits)

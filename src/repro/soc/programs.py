@@ -1,0 +1,133 @@
+"""A library of assembly kernels for the mini CPU.
+
+Generators for the classic bare-metal microbenchmark kernels — memset,
+memcpy, strided reads, pointer chases, reduce — parameterized by size and
+stride, each returning assembled programs ready for :class:`~repro.soc.cpu.CPU`.
+These are the building blocks firmware-level evaluations (like the paper's
+§8.1 latency study) are written from.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..common.errors import WorkloadError
+from ..common.types import PAGE_SIZE
+from .cpu import Instruction, assemble
+
+
+def memset(base_va: int, nbytes: int, value: int = 0) -> List[Instruction]:
+    """Store *value* over ``[base_va, base_va + nbytes)``, 8 bytes at a time."""
+    if nbytes <= 0 or nbytes % 8:
+        raise WorkloadError("memset size must be a positive multiple of 8")
+    return assemble(
+        f"""
+        li   a0, {base_va}
+        li   a1, {nbytes // 8}
+        li   a2, {value}
+        loop:
+        sd   a2, 0(a0)
+        addi a0, a0, 8
+        addi a1, a1, -1
+        bne  a1, zero, loop
+        ecall
+        """
+    )
+
+
+def memcpy(dst_va: int, src_va: int, nbytes: int) -> List[Instruction]:
+    """Copy ``nbytes`` (multiple of 8) from src to dst."""
+    if nbytes <= 0 or nbytes % 8:
+        raise WorkloadError("memcpy size must be a positive multiple of 8")
+    return assemble(
+        f"""
+        li   a0, {dst_va}
+        li   a1, {src_va}
+        li   a2, {nbytes // 8}
+        loop:
+        ld   t0, 0(a1)
+        sd   t0, 0(a0)
+        addi a0, a0, 8
+        addi a1, a1, 8
+        addi a2, a2, -1
+        bne  a2, zero, loop
+        ecall
+        """
+    )
+
+
+def strided_read(base_va: int, count: int, stride: int = PAGE_SIZE) -> List[Instruction]:
+    """Read *count* words, *stride* bytes apart (the TLB-reach probe)."""
+    if count <= 0 or stride % 8:
+        raise WorkloadError("need a positive count and 8-byte-aligned stride")
+    return assemble(
+        f"""
+        li   a0, {base_va}
+        li   a1, {count}
+        loop:
+        ld   t0, 0(a0)
+        li   t1, {stride}
+        add  a0, a0, t1
+        addi a1, a1, -1
+        bne  a1, zero, loop
+        ecall
+        """
+    )
+
+
+def pointer_chase(head_va: int, hops: int) -> List[Instruction]:
+    """Follow a linked chain of pointers for *hops* steps.
+
+    The chain itself must be prepared in memory (each node's word 0 holds
+    the VA of the next node); see :func:`build_chain`.
+    """
+    if hops <= 0:
+        raise WorkloadError("need at least one hop")
+    return assemble(
+        f"""
+        li   a0, {head_va}
+        li   a1, {hops}
+        loop:
+        ld   a0, 0(a0)
+        addi a1, a1, -1
+        bne  a1, zero, loop
+        ecall
+        """
+    )
+
+
+def reduce_sum(base_va: int, count: int) -> List[Instruction]:
+    """Sum *count* consecutive words into a0 (bandwidth-style kernel)."""
+    if count <= 0:
+        raise WorkloadError("need a positive count")
+    return assemble(
+        f"""
+        li   a0, 0
+        li   a1, {base_va}
+        li   a2, {count}
+        loop:
+        ld   t0, 0(a1)
+        add  a0, a0, t0
+        addi a1, a1, 8
+        addi a2, a2, -1
+        bne  a2, zero, loop
+        ecall
+        """
+    )
+
+
+def build_chain(system, space, base_va: int, num_nodes: int, stride: int = PAGE_SIZE) -> None:
+    """Materialize a circular pointer chain for :func:`pointer_chase`.
+
+    Node *i* lives at ``base_va + i*stride`` and points to node *i+1*
+    (wrapping).  The region must already be mapped in *space*.
+    """
+    if num_nodes <= 0:
+        raise WorkloadError("need at least one node")
+    for i in range(num_nodes):
+        va = base_va + i * stride
+        target = base_va + ((i + 1) % num_nodes) * stride
+        pa = space.pa_of(va)
+        if pa is None:
+            raise WorkloadError(f"chain node VA {va:#x} not mapped")
+        system.memory.write64(pa, target)

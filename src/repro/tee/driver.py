@@ -1,0 +1,111 @@
+"""TEE driver: application memory-range hints (paper §9).
+
+The paper's prototype adds three ioctls to the enclave driver so user
+applications can mark *virtual* ranges hot or cold; the driver resolves them
+to physical regions and passes labels to the secure monitor, which backs hot
+regions with segment entries — extending HPMP's benefit from page-table
+pages to the application's own hottest data.
+
+This module implements the same three operations — ``hint_create``,
+``hint_delete``, ``hint_query`` — against the simulator's monitor and
+address spaces.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..common.errors import MonitorError
+from ..common.types import PAGE_SIZE, MemRegion
+from ..soc.system import AddressSpace
+from .gms import GMS
+from .monitor import SecureMonitor
+
+
+@dataclass
+class RangeHint:
+    """One installed hot-range hint."""
+
+    hint_id: int
+    domain_id: int
+    va: int
+    size: int
+    region: MemRegion  # resolved physical range
+    gms: GMS
+    cycles_spent: int
+
+
+class TEEDriver:
+    """The kernel-side driver exposing the hint ioctls."""
+
+    def __init__(self, monitor: SecureMonitor):
+        self.monitor = monitor
+        self._hints: Dict[int, RangeHint] = {}
+        self._ids = itertools.count(1)
+
+    def _resolve_contiguous(self, space: AddressSpace, va: int, size: int) -> MemRegion:
+        """Resolve a VA range to its backing PAs; must be one contiguous run.
+
+        Segment entries cover contiguous physical regions, so the driver
+        only accepts ranges the allocator placed contiguously (the common
+        case for enclave GMS memory).
+        """
+        if va % PAGE_SIZE or size % PAGE_SIZE or size == 0:
+            raise MonitorError("hint range must be page aligned and non-empty")
+        base_pa = space.pa_of(va)
+        if base_pa is None:
+            raise MonitorError(f"hint VA {va:#x} not mapped")
+        for offset in range(0, size, PAGE_SIZE):
+            pa = space.pa_of(va + offset)
+            if pa != base_pa + offset:
+                raise MonitorError(
+                    f"hint range not physically contiguous at VA {va + offset:#x}"
+                )
+        return MemRegion(base_pa, size)
+
+    def hint_create(self, domain_id: int, space: AddressSpace, va: int, size: int) -> RangeHint:
+        """ioctl 1: mark [va, va+size) hot.
+
+        The monitor installs a fast (segment) mapping when an entry is free;
+        the range must be NAPOT-shaped for the segment encoding, so the
+        driver rounds inward to the largest aligned power-of-two block.
+        """
+        region = self._resolve_contiguous(space, va, size)
+        napot = _largest_napot_block(region)
+        if napot is None:
+            raise MonitorError(f"no NAPOT-shaped block inside {region}")
+        gms, cycles = self.monitor.hint_fast_region(domain_id, napot)
+        hint = RangeHint(next(self._ids), domain_id, va, size, napot, gms, cycles)
+        self._hints[hint.hint_id] = hint
+        return hint
+
+    def hint_delete(self, hint_id: int) -> int:
+        """ioctl 2: drop a hint; returns cycles spent."""
+        hint = self._hints.pop(hint_id, None)
+        if hint is None:
+            raise MonitorError(f"no such hint {hint_id}")
+        return self.monitor.relabel(hint.domain_id, hint.gms, "slow")
+
+    def hint_query(self, domain_id: Optional[int] = None) -> List[RangeHint]:
+        """ioctl 3: list installed hints (optionally for one domain)."""
+        hints = list(self._hints.values())
+        if domain_id is not None:
+            hints = [h for h in hints if h.domain_id == domain_id]
+        return hints
+
+
+def _largest_napot_block(region: MemRegion) -> Optional[MemRegion]:
+    """The largest naturally-aligned power-of-two block inside *region*."""
+    best: Optional[MemRegion] = None
+    size = 1 << (region.size.bit_length() - 1)
+    while size >= PAGE_SIZE:
+        base = (region.base + size - 1) // size * size
+        if base + size <= region.end:
+            candidate = MemRegion(base, size)
+            if best is None or candidate.size > best.size:
+                best = candidate
+                break
+        size >>= 1
+    return best

@@ -1,0 +1,247 @@
+"""Memory integrity: Merkle trees and Penglai's mountable variant.
+
+Penglai's monitor (paper §5 background, Figure 7) defends against physical
+memory attacks with encryption plus a Merkle tree; its HPCA'23 companion
+introduces the *Mountable Merkle Tree* (MMT) — a forest of fixed-coverage
+subtrees whose roots live in protected memory, with only the hot subtrees'
+metadata mounted at any time.
+
+This module implements both functionally: hashes are real (SHA-256 over the
+simulated page contents), so tampering with physical memory between an
+``update`` and a ``verify`` is actually detected, and verification charges
+memory references for the hash-path reads through the cache hierarchy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from ..common.errors import ConfigurationError, ReproError
+from ..common.stats import StatGroup
+from ..common.types import PAGE_SIZE, MemRegion, is_pow2
+from ..mem.hierarchy import MemoryHierarchy
+from ..mem.physical import PhysicalMemory
+
+#: Cycles charged per SHA-256 block by the monitor's hash engine.
+HASH_CYCLES_PER_BLOCK = 12
+
+
+class IntegrityError(ReproError):
+    """A hash mismatch: the protected memory was tampered with."""
+
+
+def _hash_page(memory: PhysicalMemory, page_pa: int) -> bytes:
+    hasher = hashlib.sha256()
+    for offset in range(0, PAGE_SIZE, 8):
+        hasher.update(memory.read64(page_pa + offset).to_bytes(8, "little"))
+    return hasher.digest()
+
+
+def _hash_children(children: List[bytes]) -> bytes:
+    hasher = hashlib.sha256()
+    for child in children:
+        hasher.update(child)
+    return hasher.digest()
+
+
+class MerkleTree:
+    """An n-ary Merkle tree over a physical region, page-granular leaves.
+
+    The node store models the in-DRAM hash tree: ``verify``/``update``
+    charge one hierarchy reference per node level touched plus hash-engine
+    cycles.  The root digest is returned to the caller (the monitor keeps it
+    in on-chip storage, which is why the root itself costs nothing to read).
+    """
+
+    def __init__(
+        self,
+        memory: PhysicalMemory,
+        region: MemRegion,
+        hierarchy: Optional[MemoryHierarchy] = None,
+        arity: int = 8,
+        node_store_base: Optional[int] = None,
+    ):
+        if region.base % PAGE_SIZE or region.size % PAGE_SIZE or region.size == 0:
+            raise ConfigurationError(f"Merkle region {region} must be page aligned and non-empty")
+        if not is_pow2(arity) or arity < 2:
+            raise ConfigurationError("arity must be a power of two >= 2")
+        self.memory = memory
+        self.region = region
+        self.hierarchy = hierarchy
+        self.arity = arity
+        self.num_leaves = region.size // PAGE_SIZE
+        # levels[0] = leaf hashes; levels[-1] = [root]
+        self.levels: List[List[bytes]] = []
+        self._node_store_base = node_store_base if node_store_base is not None else region.base
+        self.stats = StatGroup("merkle")
+        self.root: Optional[bytes] = None
+
+    # -- construction ----------------------------------------------------------
+
+    def build(self) -> bytes:
+        """(Re)hash the whole region; returns the root digest."""
+        leaves = [_hash_page(self.memory, self.region.base + i * PAGE_SIZE) for i in range(self.num_leaves)]
+        self.levels = [leaves]
+        while len(self.levels[-1]) > 1:
+            level = self.levels[-1]
+            parents = [
+                _hash_children(level[i : i + self.arity]) for i in range(0, len(level), self.arity)
+            ]
+            self.levels.append(parents)
+        self.root = self.levels[-1][0]
+        self.stats.bump("builds")
+        return self.root
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels)
+
+    def _leaf_index(self, page_pa: int) -> int:
+        if not self.region.contains(page_pa, PAGE_SIZE):
+            raise ConfigurationError(f"PA {page_pa:#x} outside protected region {self.region}")
+        return (page_pa - self.region.base) // PAGE_SIZE
+
+    def _charge_node(self, level: int, index: int) -> int:
+        """Model a hash-node read/write through the hierarchy (32 B nodes)."""
+        cycles = HASH_CYCLES_PER_BLOCK
+        if self.hierarchy is not None:
+            node_addr = self._node_store_base + (level << 20) + index * 32
+            # Clamp into DRAM for the timing model.
+            node_addr = self.region.base + (node_addr % max(self.region.size - 64, 64))
+            node_addr &= ~0x7
+            cycles += self.hierarchy.access(node_addr)
+        return cycles
+
+    # -- operations --------------------------------------------------------------
+
+    def verify(self, page_pa: int) -> int:
+        """Verify one page against the root; returns cycles, raises on tamper."""
+        if self.root is None:
+            raise ConfigurationError("tree not built")
+        index = self._leaf_index(page_pa & ~(PAGE_SIZE - 1))
+        cycles = HASH_CYCLES_PER_BLOCK * (PAGE_SIZE // 64)
+        observed = _hash_page(self.memory, self.region.base + index * PAGE_SIZE)
+        if observed != self.levels[0][index]:
+            self.stats.bump("tamper_detected")
+            raise IntegrityError(f"page {page_pa:#x} hash mismatch")
+        # Walk up, re-deriving each parent from the stored siblings.
+        for level in range(len(self.levels) - 1):
+            group = index // self.arity
+            start = group * self.arity
+            siblings = self.levels[level][start : start + self.arity]
+            for i in range(len(siblings)):
+                cycles += self._charge_node(level, start + i)
+            derived = _hash_children(siblings)
+            if derived != self.levels[level + 1][group]:
+                self.stats.bump("tamper_detected")
+                raise IntegrityError(f"internal node mismatch at level {level + 1}")
+            index = group
+        self.stats.bump("verifies")
+        return cycles
+
+    def update(self, page_pa: int) -> int:
+        """Re-hash one page after a legitimate write; returns cycles."""
+        if self.root is None:
+            raise ConfigurationError("tree not built")
+        index = self._leaf_index(page_pa & ~(PAGE_SIZE - 1))
+        cycles = HASH_CYCLES_PER_BLOCK * (PAGE_SIZE // 64)
+        self.levels[0][index] = _hash_page(self.memory, self.region.base + index * PAGE_SIZE)
+        for level in range(len(self.levels) - 1):
+            group = index // self.arity
+            start = group * self.arity
+            siblings = self.levels[level][start : start + self.arity]
+            for i in range(len(siblings)):
+                cycles += self._charge_node(level, start + i)
+            self.levels[level + 1][group] = _hash_children(siblings)
+            index = group
+        self.root = self.levels[-1][0]
+        self.stats.bump("updates")
+        return cycles
+
+
+class MountableMerkleTree:
+    """Penglai's MMT: a forest of fixed-coverage subtrees, mounted on demand.
+
+    Subtree roots live in the monitor's protected storage; at most
+    ``mount_capacity`` subtrees keep their full node metadata resident.
+    Accessing an unmounted subtree first *mounts* it — rebuilding and
+    checking its root — which is the MMT's scalability trade: bounded
+    resident metadata for a per-miss mount cost.
+    """
+
+    def __init__(
+        self,
+        memory: PhysicalMemory,
+        region: MemRegion,
+        hierarchy: Optional[MemoryHierarchy] = None,
+        subtree_bytes: int = 2 * 1024 * 1024,
+        mount_capacity: int = 4,
+    ):
+        if region.size % subtree_bytes:
+            raise ConfigurationError("region must be a multiple of the subtree coverage")
+        self.memory = memory
+        self.region = region
+        self.hierarchy = hierarchy
+        self.subtree_bytes = subtree_bytes
+        self.mount_capacity = mount_capacity
+        self.num_subtrees = region.size // subtree_bytes
+        self._roots: Dict[int, bytes] = {}
+        self._mounted: "OrderedDict[int, MerkleTree]" = OrderedDict()
+        self.stats = StatGroup("mmt")
+        for i in range(self.num_subtrees):
+            self._roots[i] = self._make_tree(i).build()
+
+    def _subtree_of(self, pa: int) -> int:
+        if not self.region.contains(pa):
+            raise ConfigurationError(f"PA {pa:#x} outside MMT region")
+        return (pa - self.region.base) // self.subtree_bytes
+
+    def _make_tree(self, index: int) -> MerkleTree:
+        sub_region = MemRegion(self.region.base + index * self.subtree_bytes, self.subtree_bytes)
+        return MerkleTree(self.memory, sub_region, self.hierarchy)
+
+    def _mount(self, index: int) -> Tuple[MerkleTree, int]:
+        tree = self._mounted.get(index)
+        if tree is not None:
+            self._mounted.move_to_end(index)
+            self.stats.bump("mount_hits")
+            return tree, 0
+        self.stats.bump("mounts")
+        tree = self._make_tree(index)
+        root = tree.build()
+        if root != self._roots[index]:
+            self.stats.bump("tamper_detected")
+            raise IntegrityError(f"subtree {index} root mismatch at mount")
+        cycles = HASH_CYCLES_PER_BLOCK * (self.subtree_bytes // 64)
+        if len(self._mounted) >= self.mount_capacity:
+            evicted_index, evicted = self._mounted.popitem(last=False)
+            self._roots[evicted_index] = evicted.root  # write back on unmount
+            self.stats.bump("unmounts")
+        self._mounted[index] = tree
+        return tree, cycles
+
+    @property
+    def mounted_subtrees(self) -> List[int]:
+        return list(self._mounted)
+
+    def verify(self, pa: int) -> int:
+        """Verify the page holding *pa* (mounting its subtree if needed)."""
+        tree, cycles = self._mount(self._subtree_of(pa))
+        return cycles + tree.verify(pa)
+
+    def update(self, pa: int) -> int:
+        """Account a legitimate write to the page holding *pa*."""
+        index = self._subtree_of(pa)
+        tree, cycles = self._mount(index)
+        cycles += tree.update(pa)
+        self._roots[index] = tree.root
+        return cycles
+
+    def resident_metadata_bytes(self) -> int:
+        """Bytes of hash metadata kept resident (the MMT's bound)."""
+        total = 0
+        for tree in self._mounted.values():
+            total += sum(len(level) * 32 for level in tree.levels)
+        return total + len(self._roots) * 32

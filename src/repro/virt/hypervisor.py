@@ -1,0 +1,141 @@
+"""Hypervisor: managing (confidential) virtual machines.
+
+Composes the virtualization substrate with the TEE stack the way §6
+describes: the hypervisor allocates NPT pages in a contiguous "fast" GMS
+(so Penglai-HPMP backs them with a segment), optionally cooperates with the
+guest to also place guest-PT pages contiguously (HPMP-GPT), and — for
+confidential VMs — registers each VM as a monitor domain so its memory is
+isolated from the host and from other VMs (the CCA-realm-style deployment
+the paper's §9 points at).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..common.errors import MonitorError
+from ..common.types import PAGE_SIZE, AccessType, MemRegion, Permission, PrivilegeMode
+from ..soc.system import System
+from ..tee.monitor import HOST_DOMAIN_ID, SecureMonitor
+from .nested import VirtualMachine
+
+S = PrivilegeMode.SUPERVISOR
+
+
+@dataclass
+class VMHandle:
+    """One virtual machine under hypervisor management."""
+
+    vm_id: int
+    vm: VirtualMachine
+    domain_id: Optional[int]  # monitor domain for confidential VMs
+    guest_pages: int
+    destroyed: bool = False
+
+
+class Hypervisor:
+    """A KVM-like VM manager over the simulated machine.
+
+    Parameters
+    ----------
+    system:
+        The host system.
+    monitor:
+        When provided, VMs become *confidential*: each VM's memory is
+        granted to a dedicated monitor domain, so the host (and other VMs)
+        cannot read it; entering a VM switches the isolation view.
+    hpmp_gpt:
+        Ask guests to place their page tables contiguously so the monitor
+        can cover them with a segment too (the paper's HPMP-GPT extension).
+    """
+
+    def __init__(
+        self,
+        system: System,
+        monitor: Optional[SecureMonitor] = None,
+        hpmp_gpt: bool = False,
+    ):
+        self.system = system
+        self.monitor = monitor
+        self.hpmp_gpt = hpmp_gpt
+        self._vms: Dict[int, VMHandle] = {}
+        self._next_id = 1
+        self.current_vm: Optional[int] = None
+
+    def create_vm(self, guest_pages: int = 512, fragmented_backing: bool = False) -> VMHandle:
+        """Create a VM (and its confidential domain when a monitor exists)."""
+        domain_id: Optional[int] = None
+        vm = VirtualMachine(
+            self.system,
+            guest_pages=guest_pages,
+            gpt_contiguous=self.hpmp_gpt,
+            fragmented_backing=fragmented_backing,
+        )
+        if self.monitor is not None:
+            domain = self.monitor.create_domain(f"vm-{self._next_id}")
+            domain_id = domain.domain_id
+            # Grant the VM's backing memory to its domain as coalesced spans
+            # (contiguous backing yields one span; fragmented backing many —
+            # which is exactly where table-based isolation earns its keep).
+            frames = sorted(set(vm.view.backing.values()))
+            for base, size in _coalesce_frames(frames):
+                self.monitor.grant_region(domain_id, size, Permission.rwx(), region=MemRegion(base, size))
+        handle = VMHandle(self._next_id, vm, domain_id, guest_pages)
+        self._vms[self._next_id] = handle
+        self._next_id += 1
+        return handle
+
+    def enter(self, vm_id: int) -> int:
+        """World-switch into a VM; returns cycles (0 for non-confidential)."""
+        handle = self._handle(vm_id)
+        self.current_vm = vm_id
+        if self.monitor is not None and handle.domain_id is not None:
+            return self.monitor.switch_to(handle.domain_id)
+        return 0
+
+    def exit_to_host(self) -> int:
+        """Return to the host world."""
+        self.current_vm = None
+        if self.monitor is not None:
+            return self.monitor.switch_to(HOST_DOMAIN_ID)
+        return 0
+
+    def destroy_vm(self, vm_id: int) -> int:
+        handle = self._handle(vm_id)
+        cycles = 0
+        if self.current_vm == vm_id:
+            cycles += self.exit_to_host()
+        if self.monitor is not None and handle.domain_id is not None:
+            self.monitor.destroy_domain(handle.domain_id)
+        handle.destroyed = True
+        del self._vms[vm_id]
+        return cycles
+
+    def _handle(self, vm_id: int) -> VMHandle:
+        handle = self._vms.get(vm_id)
+        if handle is None:
+            raise MonitorError(f"no such VM {vm_id}")
+        return handle
+
+    @property
+    def vms(self) -> List[VMHandle]:
+        return list(self._vms.values())
+
+    def guest_access(self, vm_id: int, gva: int, access: AccessType = AccessType.READ):
+        """Convenience: a guest access with the right world entered."""
+        handle = self._handle(vm_id)
+        if self.current_vm != vm_id:
+            self.enter(vm_id)
+        return handle.vm.guest_access(gva, access)
+
+
+def _coalesce_frames(frames: List[int]) -> List["tuple[int, int]"]:
+    """Merge sorted 4 KiB frames into (base, size) spans."""
+    spans: List[List[int]] = []
+    for frame in frames:
+        if spans and spans[-1][0] + spans[-1][1] == frame:
+            spans[-1][1] += PAGE_SIZE
+        else:
+            spans.append([frame, PAGE_SIZE])
+    return [(base, size) for base, size in spans]

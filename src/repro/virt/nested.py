@@ -1,0 +1,217 @@
+"""Two-stage address translation (paper §6, Figures 8 and 13).
+
+A guest virtual address goes through the guest page table (Sv39, holding
+guest-physical addresses) and every guest-physical address — guest PT pages
+included — goes through the nested page table (Sv39x4) to a host-physical
+address.  With a 2-level permission table each of the 16 base references
+gains 2 more (48 total); HPMP backs NPT pages with a segment (-24), and
+HPMP-GPT additionally backs guest-PT pages (-6 more), leaving 2.
+
+``GuestMemoryView`` lets the stock :class:`~repro.paging.pagetable.PageTable`
+build *guest* page tables: it looks like a physical memory addressed by GPA
+but stores through the backing map to host memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..common.errors import GuestPageFault
+from ..common.types import PAGE_MASK, PAGE_SHIFT, PAGE_SIZE, AccessType, Permission, PrivilegeMode
+from ..mem.physical import PhysicalMemory
+from ..paging.pagetable import PageTable
+from ..paging.tlb import TLB, TLBEntry
+from ..soc.system import System
+
+S = PrivilegeMode.SUPERVISOR
+
+#: Guest-physical layout.
+GUEST_DRAM_BASE = 0x0000_0000
+GUEST_PT_AREA = 0x0800_0000  # guest PT pages allocated from here (GPA)
+
+
+class GuestMemoryView:
+    """Guest-physical address space backed page-wise by host memory.
+
+    The nested page table is the architectural GPA→HPA map; this view keeps
+    the same mapping as a dict for O(1) functional reads/writes (it is kept
+    in sync by :class:`VirtualMachine`, which owns both).
+    """
+
+    def __init__(self, host_memory: PhysicalMemory):
+        self.host_memory = host_memory
+        self.backing: Dict[int, int] = {}  # GPA page -> HPA page
+
+    def back_page(self, gpa_page: int, hpa_page: int) -> None:
+        self.backing[gpa_page] = hpa_page
+
+    def hpa_of(self, gpa: int) -> int:
+        hpa_page = self.backing.get(gpa & ~PAGE_MASK)
+        if hpa_page is None:
+            raise GuestPageFault(gpa, "unbacked guest-physical page")
+        return hpa_page | (gpa & PAGE_MASK)
+
+    def read64(self, gpa: int) -> int:
+        return self.host_memory.read64(self.hpa_of(gpa))
+
+    def write64(self, gpa: int, value: int) -> None:
+        self.host_memory.write64(self.hpa_of(gpa), value)
+
+    def fill(self, gpa: int, length: int, value64: int = 0) -> None:
+        for offset in range(0, length, PAGE_SIZE):
+            self.host_memory.fill(self.hpa_of(gpa + offset), PAGE_SIZE, value64)
+
+
+@dataclass(frozen=True)
+class GuestAccessResult:
+    """Outcome of one timed guest access."""
+
+    cycles: int
+    hpa: int
+    combined_tlb_hit: bool
+    refs: int  # all memory references (guest PT + nested PT + checker + data)
+    checker_refs: int
+
+
+class VirtualMachine:
+    """One guest VM on a simulated host machine.
+
+    Parameters
+    ----------
+    system:
+        Host system (its checker decides PMP / PMPT / HPMP behaviour).
+    guest_pages:
+        Guest DRAM size in 4 KiB pages.
+    gpt_contiguous:
+        Back guest-PT pages with frames from the host's contiguous PT region
+        (the HPMP-GPT extension); otherwise they come from the host pool.
+    fragmented_backing:
+        Back guest data pages with scattered host frames (the §8.8 cases).
+    """
+
+    def __init__(
+        self,
+        system: System,
+        guest_pages: int = 1024,
+        gpt_contiguous: bool = False,
+        fragmented_backing: bool = False,
+    ):
+        self.system = system
+        self.machine = system.machine
+        self.view = GuestMemoryView(system.memory)
+        self.gpt_contiguous = gpt_contiguous
+        # The nested page table is a host page table over GPAs (Sv39x4 is
+        # Sv39 with a widened root; the level count — what drives reference
+        # counts — is identical).
+        self.npt = PageTable(system.memory, system.alloc_pt_page, mode="sv39")
+        self._alloc_host_frame = (
+            system.data_frames.alloc_scattered if fragmented_backing else system.data_frames.alloc
+        )
+        # Back guest DRAM.
+        for i in range(guest_pages):
+            self._back(GUEST_DRAM_BASE + i * PAGE_SIZE)
+        # Guest page table over the guest-physical view.
+        self._next_gpt_page = GUEST_PT_AREA
+        self.guest_pt = PageTable(self.view, self._alloc_gpt_page, mode="sv39")  # type: ignore[arg-type]
+        # VS-stage (combined gva->hpa) and G-stage (gpa->hpa) TLBs.
+        params = system.params
+        self.combined_tlb = TLB(params.l1_tlb, params.l2_tlb)
+        self.g_tlb = TLB(params.l1_tlb, params.l2_tlb)
+
+    def _back(self, gpa_page: int, frame: Optional[int] = None) -> int:
+        if frame is None:
+            frame = self._alloc_host_frame()
+        self.view.back_page(gpa_page, frame)
+        self.npt.map_page(gpa_page, frame, Permission.rw(), user=True)
+        return frame
+
+    def _alloc_gpt_page(self) -> int:
+        """Allocate a guest PT page (GPA), backing it per the GPT policy."""
+        gpa = self._next_gpt_page
+        self._next_gpt_page += PAGE_SIZE
+        frame = self.system.pt_frames.alloc() if self.gpt_contiguous else self._alloc_host_frame()
+        self._back(gpa, frame)
+        return gpa
+
+    # -- guest memory management ------------------------------------------------
+
+    def guest_map(self, gva: int, gpa: int, perm: Permission = Permission.rw()) -> None:
+        """Map a guest virtual page to a guest physical page."""
+        self.guest_pt.map_page(gva, gpa, perm, user=True)
+
+    def guest_map_range(self, gva: int, gpa: int, size: int, perm: Permission = Permission.rw()) -> None:
+        for offset in range(0, size, PAGE_SIZE):
+            self.guest_map(gva + offset, gpa + offset, perm)
+
+    # -- fences ------------------------------------------------------------------
+
+    def hfence_vvma(self) -> int:
+        """Flush VS-stage (combined) translations; G-stage survives."""
+        self.combined_tlb.flush()
+        self.machine.pwc.flush()
+        return self.system.params.tlb_flush_cycles
+
+    def hfence_gvma(self) -> int:
+        """Flush G-stage translations (and therefore combined ones too)."""
+        self.combined_tlb.flush()
+        self.g_tlb.flush()
+        self.machine.pwc.flush()
+        return self.system.params.tlb_flush_cycles
+
+    # -- the timed two-stage access path -------------------------------------------
+
+    def _check(self, hpa: int, access: AccessType) -> int:
+        """Checker validation of one host-physical access; returns cycles."""
+        cost = self.machine.checker.check(hpa, access, S)
+        self._refs += cost.refs
+        self._checker_refs += cost.refs
+        return cost.cycles
+
+    def _nested_resolve(self, gpa: int) -> Tuple[int, int]:
+        """GPA -> HPA through the G stage (with G-TLB); returns (hpa, cycles)."""
+        entry, cycles = self.g_tlb.lookup(gpa)
+        if entry is not None:
+            return (entry.ppn << PAGE_SHIFT) | (gpa & PAGE_MASK), cycles
+        walk = self.npt.walk(gpa)
+        for step in walk.steps:
+            cycles += self._check(step.pte_addr, AccessType.READ)
+            cycles += self.machine.hierarchy.access(step.pte_addr)
+            self._refs += 1
+        self.g_tlb.fill(
+            TLBEntry(vpn=gpa >> PAGE_SHIFT, ppn=(walk.paddr & ~PAGE_MASK) >> PAGE_SHIFT, perm=walk.perm, user=True)
+        )
+        return walk.paddr, cycles
+
+    def guest_access(self, gva: int, access: AccessType = AccessType.READ) -> GuestAccessResult:
+        """One timed guest memory access (the paper's hlv.d probe)."""
+        self._refs = 0
+        self._checker_refs = 0
+        entry, cycles = self.combined_tlb.lookup(gva)
+        if entry is not None:
+            hpa = (entry.ppn << PAGE_SHIFT) | (gva & PAGE_MASK)
+            cycles += self.machine.hierarchy.access(hpa)
+            return GuestAccessResult(cycles, hpa, True, 1, 0)
+        gwalk = self.guest_pt.walk(gva)
+        for step in gwalk.steps:
+            # step.pte_addr is a GPA: translate it through the G stage...
+            hpa_pte, ncycles = self._nested_resolve(step.pte_addr)
+            cycles += ncycles
+            # ...then check and read the guest PT page itself.
+            cycles += self._check(hpa_pte, AccessType.READ)
+            cycles += self.machine.hierarchy.access(hpa_pte)
+            self._refs += 1
+        hpa_data, ncycles = self._nested_resolve(gwalk.paddr)
+        cycles += ncycles
+        cycles += self._check(hpa_data & ~PAGE_MASK, access)
+        self.combined_tlb.fill(
+            TLBEntry(
+                vpn=gva >> PAGE_SHIFT,
+                ppn=(hpa_data & ~PAGE_MASK) >> PAGE_SHIFT,
+                perm=gwalk.perm,
+                user=True,
+            )
+        )
+        cycles += self.machine.hierarchy.access(hpa_data)
+        self._refs += 1
+        return GuestAccessResult(cycles, hpa_data, False, self._refs, self._checker_refs)

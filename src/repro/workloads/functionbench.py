@@ -1,0 +1,187 @@
+"""FunctionBench serverless workloads (paper §8.4, Figure 12 a/b and 17).
+
+Each function invocation runs the full Penglai cold-start path — domain
+creation, GMS grant, enclave page-table build, domain switch — followed by
+an import phase (cold instruction fetches over the code pages) and the
+function body (a per-function access/compute profile), then teardown.
+Short-lived functions never amortize their cold TLB/cache state, which is
+exactly why the permission table hurts them most (Implication-3).
+
+``secure=False`` runs the same function as a plain host process (the
+paper's Host-PMP non-secure baseline).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..common.errors import WorkloadError
+from ..common.types import AccessType, PAGE_SIZE
+from ..soc.system import System
+from ..tee.enclave import ENCLAVE_HEAP_VA, ENCLAVE_TEXT_VA, EnclaveRuntime
+from ..tee.monitor import SecureMonitor
+from ..workloads.kernel import KernelModel
+
+FUNCTIONS = ("chameleon", "dd", "gzip", "linpack", "matmul", "pyaes", "image")
+
+
+@dataclass(frozen=True)
+class FunctionProfile:
+    """Footprint and body shape of one FunctionBench function."""
+
+    name: str
+    text_pages: int
+    heap_pages: int
+    import_pages: int  # code pages touched during interpreter/library import
+    sequential_accesses: int
+    random_accesses: int
+    compute_per_access: int
+    body_iterations: int
+
+
+#: Profiles sized so relative latencies echo Figure 12-b's labels
+#: (gzip longest, dd/linpack long, matmul shortest) at simulation scale.
+PROFILES: Dict[str, FunctionProfile] = {
+    "chameleon": FunctionProfile("chameleon", 96, 384, 72, 96, 224, 6, 3),
+    "dd": FunctionProfile("dd", 16, 1024, 12, 1024, 0, 1, 6),
+    "gzip": FunctionProfile("gzip", 32, 768, 24, 768, 192, 3, 8),
+    "linpack": FunctionProfile("linpack", 24, 384, 18, 512, 64, 9, 6),
+    "matmul": FunctionProfile("matmul", 8, 48, 6, 96, 16, 10, 2),
+    "pyaes": FunctionProfile("pyaes", 48, 96, 36, 128, 96, 12, 5),
+    "image": FunctionProfile("image", 64, 512, 48, 384, 96, 4, 3),
+}
+
+
+@dataclass(frozen=True)
+class FunctionResult:
+    function: str
+    checker: str
+    secure: bool
+    launch_cycles: int
+    body_cycles: int
+    teardown_cycles: int
+
+    @property
+    def total_cycles(self) -> int:
+        return self.launch_cycles + self.body_cycles + self.teardown_cycles
+
+
+class ServerlessNode:
+    """One simulated worker node: machine + monitor + host kernel."""
+
+    def __init__(self, machine: str = "boom", checker_kind: str = "hpmp", mem_mib: int = 256, seed: int = 0):
+        self.system = System(machine=machine, checker_kind=checker_kind, mem_mib=mem_mib, seed=seed)
+        self.kernel = KernelModel(self.system, heap_pages=1024, seed=seed)
+        if checker_kind == "none":
+            self.monitor: Optional[SecureMonitor] = None
+            self.runtime: Optional[EnclaveRuntime] = None
+        else:
+            self.monitor = SecureMonitor(self.system)
+            self.runtime = EnclaveRuntime(self.system, self.monitor, self.kernel)
+        self.seed = seed
+
+    def invoke(self, function: str, secure: bool = True) -> FunctionResult:
+        """One cold invocation of *function*."""
+        profile = PROFILES.get(function)
+        if profile is None:
+            raise WorkloadError(f"unknown function {function!r}; options: {FUNCTIONS}")
+        if secure:
+            if self.runtime is None:
+                raise WorkloadError("secure invocation needs a monitor-capable checker")
+            return self._invoke_enclave(profile)
+        return self._invoke_host(profile)
+
+    def _run_body(self, profile: FunctionProfile, fetch, read, write, rng) -> int:
+        """The function body: import phase then the compute/access loop."""
+        cycles = 0
+        # Import: touch the code pages (cold instruction fetches).
+        for page in range(profile.import_pages):
+            cycles += fetch(page * PAGE_SIZE)
+            cycles += fetch(page * PAGE_SIZE + 2048)
+        heap_bytes = profile.heap_pages * PAGE_SIZE
+        for _ in range(profile.body_iterations):
+            offset = 0
+            step = max(64, heap_bytes // max(profile.sequential_accesses, 1))
+            for _ in range(profile.sequential_accesses):
+                cycles += read(offset % heap_bytes)
+                cycles += profile.compute_per_access
+                offset += step
+            for _ in range(profile.random_accesses):
+                cycles += write(rng.randrange(heap_bytes // 8) * 8)
+                cycles += profile.compute_per_access
+        return cycles
+
+    def _invoke_enclave(self, profile: FunctionProfile) -> FunctionResult:
+        rng = random.Random(self.seed ^ hash(profile.name) & 0xFFFF)
+        handle = self.runtime.launch(profile.name, profile.text_pages, profile.heap_pages)
+        fetch = lambda off: self.runtime.access(handle, ENCLAVE_TEXT_VA + off, AccessType.FETCH)  # noqa: E731
+        read = lambda off: self.runtime.access(handle, ENCLAVE_HEAP_VA + off, AccessType.READ)  # noqa: E731
+        write = lambda off: self.runtime.access(handle, ENCLAVE_HEAP_VA + off, AccessType.WRITE)  # noqa: E731
+        body = self._run_body(profile, fetch, read, write, rng)
+        teardown = self.runtime.destroy(handle)
+        return FunctionResult(
+            profile.name,
+            self.system.checker_kind,
+            True,
+            handle.launch_cycles,
+            body,
+            teardown,
+        )
+
+    def _invoke_host(self, profile: FunctionProfile) -> FunctionResult:
+        """Host-PMP baseline: same work as an ordinary process."""
+        rng = random.Random(self.seed ^ hash(profile.name) & 0xFFFF)
+        kernel = self.kernel
+        proc, launch = kernel.spawn(
+            text_pages=profile.text_pages, heap_pages=profile.heap_pages, stack_pages=4, populate=True
+        )
+        machine = self.system.machine
+        from ..workloads.kernel import USER_HEAP_VA, USER_TEXT_VA
+
+        def fetch(off):
+            return machine.access(proc.space.page_table, USER_TEXT_VA + off, AccessType.FETCH, asid=proc.space.asid).cycles
+
+        def read(off):
+            return machine.access(proc.space.page_table, USER_HEAP_VA + off, AccessType.READ, asid=proc.space.asid).cycles
+
+        def write(off):
+            return machine.access(proc.space.page_table, USER_HEAP_VA + off, AccessType.WRITE, asid=proc.space.asid).cycles
+
+        body = self._run_body(profile, fetch, read, write, rng)
+        teardown = kernel.exit_process(proc)
+        return FunctionResult(profile.name, self.system.checker_kind, False, launch, body, teardown)
+
+
+def run_function(
+    function: str,
+    checker_kind: str,
+    machine: str = "boom",
+    secure: bool = True,
+    seed: int = 0,
+    params_override=None,
+) -> FunctionResult:
+    """One cold invocation on a fresh node (the serverless cold-start case)."""
+    node = ServerlessNode(machine=machine, checker_kind=checker_kind, seed=seed)
+    if params_override is not None:
+        node.system.machine.params = params_override
+        node.system.machine.pwc.capacity = params_override.ptecache_entries
+    return node.invoke(function, secure=secure)
+
+
+def run_functionbench(
+    machine: str = "boom",
+    kinds: Tuple[str, ...] = ("pmp", "pmpt", "hpmp"),
+    include_host_baseline: bool = False,
+) -> Dict[str, Dict[str, FunctionResult]]:
+    """Figure 12 a/b: every function under every isolation scheme."""
+    results: Dict[str, Dict[str, FunctionResult]] = {}
+    for function in FUNCTIONS:
+        row: Dict[str, FunctionResult] = {}
+        if include_host_baseline:
+            row["host-pmp"] = run_function(function, "pmp", machine=machine, secure=False)
+        for kind in kinds:
+            row[kind] = run_function(function, kind, machine=machine, secure=True)
+        results[function] = row
+    return results

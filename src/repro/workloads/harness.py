@@ -1,0 +1,155 @@
+"""Shared machinery for user-level workload models.
+
+:class:`ArrayMap` lays out named arrays in a process address space and turns
+element accesses into timed machine accesses; :class:`HeapMap` provides a
+malloc-like scatter of fixed-size objects for pointer-chasing workloads
+(linked lists, hash-table entries).  All workload models (GAP, RV8, Redis,
+FunctionBench) are built on these, so their memory behaviour — locality,
+footprint, TLB reach — is explicit and inspectable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..common.errors import WorkloadError
+from ..common.types import PAGE_SIZE, AccessType, Permission, PrivilegeMode
+from ..mem.allocator import FrameAllocator
+from ..soc.system import AddressSpace, System
+
+USER_ARRAY_BASE = 0x0000_2000_0000
+USER_HEAP_BASE = 0x0000_6000_0000
+
+U = PrivilegeMode.USER
+
+
+@dataclass
+class _Array:
+    name: str
+    base_va: int
+    length: int
+    elem_bytes: int
+
+    @property
+    def size_bytes(self) -> int:
+        return self.length * self.elem_bytes
+
+
+class ArrayMap:
+    """Named typed arrays in one address space, with timed element access."""
+
+    def __init__(
+        self,
+        system: System,
+        space: Optional[AddressSpace] = None,
+        contiguous_pa: bool = True,
+        frames: Optional[FrameAllocator] = None,
+    ):
+        self.system = system
+        self.space = space if space is not None else system.new_address_space()
+        self._arrays: Dict[str, _Array] = {}
+        self._next_va = USER_ARRAY_BASE
+        self._contiguous_pa = contiguous_pa
+        self._frames = frames  # e.g. an enclave's GMS region
+        self.cycles = 0
+        self.accesses = 0
+
+    def add(self, name: str, length: int, elem_bytes: int = 8) -> None:
+        """Allocate and map a new array."""
+        if name in self._arrays:
+            raise WorkloadError(f"array {name!r} already exists")
+        size = length * elem_bytes
+        size = (size + PAGE_SIZE - 1) // PAGE_SIZE * PAGE_SIZE
+        if self._frames is not None:
+            self.space.map_from(self._frames, self._next_va, size, Permission.rw())
+        else:
+            self.space.map(self._next_va, size, Permission.rw(), contiguous_pa=self._contiguous_pa)
+        self._arrays[name] = _Array(name, self._next_va, length, elem_bytes)
+        # Guard gap between arrays.
+        self._next_va += size + PAGE_SIZE
+
+    def va(self, name: str, index: int) -> int:
+        arr = self._arrays[name]
+        if not 0 <= index < arr.length:
+            raise WorkloadError(f"{name}[{index}] out of bounds (length {arr.length})")
+        return arr.base_va + index * arr.elem_bytes
+
+    def read(self, name: str, index: int) -> int:
+        """Timed read of one element; returns cycles."""
+        result = self.system.machine.access(self.space.page_table, self.va(name, index), AccessType.READ, U, self.space.asid)
+        self.cycles += result.cycles
+        self.accesses += 1
+        return result.cycles
+
+    def write(self, name: str, index: int) -> int:
+        """Timed write of one element; returns cycles."""
+        result = self.system.machine.access(self.space.page_table, self.va(name, index), AccessType.WRITE, U, self.space.asid)
+        self.cycles += result.cycles
+        self.accesses += 1
+        return result.cycles
+
+    def compute(self, cycles: int) -> None:
+        """Account for non-memory compute work."""
+        self.cycles += cycles
+
+    def footprint_pages(self) -> int:
+        return self.space.mapped_pages
+
+
+class HeapMap:
+    """A malloc-like object heap: fixed-slot objects at shuffled addresses.
+
+    Object slots are scattered across the heap pages (seeded), so chasing a
+    list of object ids produces realistic pointer-chase traffic.
+    """
+
+    def __init__(
+        self,
+        system: System,
+        num_objects: int,
+        obj_bytes: int = 64,
+        space: Optional[AddressSpace] = None,
+        seed: int = 0,
+        contiguous_pa: bool = True,
+        frames: Optional[FrameAllocator] = None,
+    ):
+        if obj_bytes % 8 or obj_bytes <= 0:
+            raise WorkloadError("obj_bytes must be a positive multiple of 8")
+        self.system = system
+        self.space = space if space is not None else system.new_address_space()
+        self.obj_bytes = obj_bytes
+        self.num_objects = num_objects
+        total = num_objects * obj_bytes
+        pages = (total + PAGE_SIZE - 1) // PAGE_SIZE
+        self.base_va = USER_HEAP_BASE
+        if frames is not None:
+            self.space.map_from(frames, self.base_va, pages * PAGE_SIZE, Permission.rw())
+        else:
+            self.space.map(self.base_va, pages * PAGE_SIZE, Permission.rw(), contiguous_pa=contiguous_pa)
+        slots = list(range(num_objects))
+        random.Random(seed).shuffle(slots)
+        self._slot_of = slots  # object id -> slot index
+        self.cycles = 0
+        self.accesses = 0
+
+    def va_of(self, obj_id: int, field_offset: int = 0) -> int:
+        slot = self._slot_of[obj_id % self.num_objects]
+        return self.base_va + slot * self.obj_bytes + field_offset
+
+    def touch(self, obj_id: int, writes: int = 0, reads: int = 1, field_offset: int = 0) -> int:
+        """Timed accesses to one object; returns cycles."""
+        va = self.va_of(obj_id, field_offset)
+        cycles = 0
+        machine = self.system.machine
+        for _ in range(reads):
+            cycles += machine.access(self.space.page_table, va, AccessType.READ, U, self.space.asid).cycles
+        for _ in range(writes):
+            cycles += machine.access(self.space.page_table, va, AccessType.WRITE, U, self.space.asid).cycles
+        self.cycles += cycles
+        self.accesses += reads + writes
+        return cycles
+
+    def compute(self, cycles: int) -> None:
+        self.cycles += cycles

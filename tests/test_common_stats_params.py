@@ -1,0 +1,96 @@
+"""Tests for stats counters, machine parameter presets, and report helpers."""
+
+import pytest
+
+from repro.common.params import CacheParams, boom, machine_params, rocket
+from repro.common.stats import StatGroup
+from repro.experiments.report import format_table, geomean, normalize
+
+
+class TestStatGroup:
+    def test_bump_and_read(self):
+        stats = StatGroup("t")
+        stats.bump("hit")
+        stats.bump("hit", 4)
+        assert stats["hit"] == 5
+        assert stats["miss"] == 0
+
+    def test_ratio(self):
+        stats = StatGroup("t")
+        stats.bump("hit", 3)
+        stats.bump("miss", 1)
+        assert stats.ratio("hit", "miss") == 0.75
+        assert StatGroup("empty").ratio("a", "b") == 0.0
+
+    def test_reset_and_snapshot(self):
+        stats = StatGroup("t")
+        stats.bump("x", 2)
+        snap = stats.snapshot()
+        stats.reset()
+        assert snap == {"x": 2}
+        assert stats["x"] == 0
+
+    def test_merge(self):
+        a, b = StatGroup("a"), StatGroup("b")
+        a.bump("x")
+        b.bump("x", 2)
+        b.bump("y")
+        a.merge(b.snapshot())
+        assert a["x"] == 3 and a["y"] == 1
+
+    def test_iteration_and_repr(self):
+        stats = StatGroup("t")
+        stats.bump("z")
+        assert list(stats) == ["z"]
+        assert "z=1" in repr(stats)
+
+
+class TestMachineParams:
+    def test_presets(self):
+        assert machine_params("rocket").name == "rocket"
+        assert machine_params("boom").freq_mhz == 3200
+        with pytest.raises(KeyError):
+            machine_params("sifive")
+
+    def test_table1_geometry(self):
+        r = rocket()
+        assert r.l1d.size_bytes == 16 * 1024
+        assert r.l2_tlb.entries == 1024 and r.l2_tlb.ways == 1
+        assert r.ptecache_entries == 8
+        b = boom()
+        assert b.l1d.size_bytes == 32 * 1024 and b.l1d.ways == 8
+        assert b.llc.size_bytes == 4 * 1024 * 1024
+
+    def test_with_returns_modified_copy(self):
+        r = rocket()
+        r2 = r.with_(ptecache_entries=32)
+        assert r2.ptecache_entries == 32
+        assert r.ptecache_entries == 8  # original untouched
+
+    def test_boom_overlaps_loads(self):
+        assert boom().mlp_factor < rocket().mlp_factor == 1.0
+
+    def test_cache_sets(self):
+        params = CacheParams("c", 16 * 1024, ways=4, line_bytes=64)
+        assert params.sets == 64
+
+
+class TestReportHelpers:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [{"a": 1, "bb": 2.5}, {"a": 30, "bb": 4}])
+        lines = text.splitlines()
+        assert lines[0].startswith("a ")
+        assert "2.5" in text and "30" in text
+
+    def test_format_table_title_and_missing_cells(self):
+        text = format_table(["x"], [{}], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_normalize(self):
+        rows = [{"name": "r", "a": 50.0, "b": 100.0}]
+        out = normalize(rows, ["a", "b"], baseline_key="b")
+        assert out[0]["a"] == 50.0 and out[0]["b"] == 100.0
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0

@@ -1,0 +1,141 @@
+"""Tests for the ARM-CCA-style GPT generality model (paper §9)."""
+
+import pytest
+
+from repro.common.errors import AccessFault, ConfigurationError
+from repro.common.params import rocket
+from repro.common.types import GIB, MIB, PAGE_SIZE, MemRegion
+from repro.isolation.gpt import (
+    GPCChecker,
+    GPT,
+    GPTRegionRegister,
+    PAS,
+    l1_entry_get,
+    l1_entry_set,
+)
+from repro.mem.allocator import FrameAllocator
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.physical import PhysicalMemory
+
+BASE = 0x8000_0000
+
+
+@pytest.fixture
+def env():
+    memory = PhysicalMemory(512 * MIB, base=BASE)
+    allocator = FrameAllocator(MemRegion(BASE, 64 * MIB))
+    hierarchy = MemoryHierarchy(rocket())
+    region = MemRegion(BASE + 64 * MIB, 448 * MIB)
+    return memory, allocator, hierarchy, region
+
+
+class TestL1Encoding:
+    def test_set_get_roundtrip(self):
+        entry = l1_entry_set(0, 5, PAS.REALM)
+        assert l1_entry_get(entry, 5) is PAS.REALM
+        assert l1_entry_get(entry, 4) is PAS.NO_ACCESS
+
+    def test_bounds(self):
+        with pytest.raises(ConfigurationError):
+            l1_entry_get(0, 16)
+
+
+class TestGPT:
+    def test_default_denies(self, env):
+        memory, allocator, _, region = env
+        gpt = GPT(memory, allocator, region)
+        pas, addrs = gpt.lookup(region.base)
+        assert pas is PAS.NO_ACCESS
+        assert len(addrs) == 1  # invalid L0 descriptor suffices
+
+    def test_block_descriptor_single_ref(self, env):
+        memory, allocator, _, region = env
+        gpt = GPT(memory, allocator, region)
+        gpt.set_block(0, PAS.NONSECURE)
+        pas, addrs = gpt.lookup(region.base + 5 * PAGE_SIZE)
+        assert pas is PAS.NONSECURE
+        assert len(addrs) == 1
+
+    def test_granule_write_shatters_block(self, env):
+        memory, allocator, _, region = env
+        gpt = GPT(memory, allocator, region)
+        gpt.set_block(0, PAS.NONSECURE)
+        gpt.set_granule(region.base + PAGE_SIZE, PAS.REALM)
+        assert gpt.lookup(region.base + PAGE_SIZE)[0] is PAS.REALM
+        assert gpt.lookup(region.base)[0] is PAS.NONSECURE  # neighbors keep the old PAS
+        assert len(gpt.lookup(region.base)[1]) == 2  # now a 2-ref walk
+
+    def test_granules_across_the_gib(self, env):
+        memory, allocator, _, region = env
+        gpt = GPT(memory, allocator, region)
+        # Far into the GiB: exercises the multi-page contiguous L1 table.
+        far = region.base + 300 * MIB
+        gpt.set_granule(far, PAS.SECURE)
+        assert gpt.lookup(far)[0] is PAS.SECURE
+
+    def test_set_range(self, env):
+        memory, allocator, _, region = env
+        gpt = GPT(memory, allocator, region)
+        gpt.set_range(region.base, 8 * PAGE_SIZE, PAS.REALM)
+        assert all(gpt.lookup(region.base + i * PAGE_SIZE)[0] is PAS.REALM for i in range(8))
+        assert gpt.lookup(region.base + 8 * PAGE_SIZE)[0] is PAS.NO_ACCESS
+
+    def test_outside_region_rejected(self, env):
+        memory, allocator, _, region = env
+        gpt = GPT(memory, allocator, region)
+        with pytest.raises(ConfigurationError):
+            gpt.lookup(BASE)
+
+
+class TestGPCChecker:
+    def test_world_match_allows(self, env):
+        memory, allocator, hierarchy, region = env
+        gpt = GPT(memory, allocator, region)
+        gpt.set_range(region.base, 4 * PAGE_SIZE, PAS.REALM)
+        checker = GPCChecker(hierarchy)
+        checker.add_region(GPTRegionRegister(region, gpt=gpt))
+        cycles, refs = checker.check(region.base, PAS.REALM)
+        assert refs == 2
+
+    def test_world_mismatch_faults(self, env):
+        memory, allocator, hierarchy, region = env
+        gpt = GPT(memory, allocator, region)
+        gpt.set_range(region.base, 4 * PAGE_SIZE, PAS.REALM)
+        checker = GPCChecker(hierarchy)
+        checker.add_region(GPTRegionRegister(region, gpt=gpt))
+        with pytest.raises(AccessFault):
+            checker.check(region.base, PAS.NONSECURE)
+
+    def test_any_gpi_allows_all_worlds(self, env):
+        memory, allocator, hierarchy, region = env
+        gpt = GPT(memory, allocator, region)
+        gpt.set_range(region.base, PAGE_SIZE, PAS.ANY)
+        checker = GPCChecker(hierarchy)
+        checker.add_region(GPTRegionRegister(region, gpt=gpt))
+        for world in (PAS.REALM, PAS.NONSECURE, PAS.SECURE):
+            checker.check(region.base, world)
+
+    def test_uncovered_address_faults(self, env):
+        _, _, hierarchy, region = env
+        checker = GPCChecker(hierarchy)
+        with pytest.raises(AccessFault):
+            checker.check(region.base, PAS.NONSECURE)
+
+    def test_segment_mode_region_is_free(self, env):
+        """The paper's CCA optimization: a segmented GPT region skips walks."""
+        memory, allocator, hierarchy, region = env
+        pt_region = MemRegion(region.base, 16 * MIB)
+        checker = GPCChecker(hierarchy)
+        checker.add_region(GPTRegionRegister(pt_region, inline_pas=PAS.NONSECURE))
+        gpt = GPT(memory, allocator, region)
+        gpt.set_range(region.base + 32 * MIB, 4 * PAGE_SIZE, PAS.NONSECURE)
+        checker.add_region(GPTRegionRegister(region, gpt=gpt))
+        cycles, refs = checker.check(pt_region.base, PAS.NONSECURE)
+        assert refs == 0  # segment: no GPT walk, like HPMP's fast GMS
+        cycles, refs = checker.check(region.base + 32 * MIB, PAS.NONSECURE)
+        assert refs == 2  # table-backed region still walks
+
+    def test_register_requires_exactly_one_mode(self, env):
+        _, _, _, region = env
+        with pytest.raises(ConfigurationError):
+            GPTRegionRegister(region)

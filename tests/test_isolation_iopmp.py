@@ -1,0 +1,142 @@
+"""Tests for IOPMP DMA protection (paper §9)."""
+
+import pytest
+
+from repro.common.errors import AccessFault, ConfigurationError
+from repro.common.params import rocket
+from repro.common.types import KIB, MIB, AccessType, MemRegion, Permission
+from repro.isolation.iopmp import DMAEngine, IOPMP, IOPMPEntry
+from repro.isolation.pmptable import PMPTable
+from repro.mem.allocator import FrameAllocator
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.physical import PhysicalMemory
+
+BASE = 0x8000_0000
+NIC_SID = 1
+DISK_SID = 2
+
+
+@pytest.fixture
+def env():
+    memory = PhysicalMemory(128 * MIB, base=BASE)
+    hierarchy = MemoryHierarchy(rocket())
+    iopmp = IOPMP(hierarchy)
+    return memory, hierarchy, iopmp
+
+
+class TestIOPMPEntries:
+    def test_segment_entry_allows_owner_sid(self, env):
+        _, _, iopmp = env
+        window = MemRegion(BASE + 16 * MIB, 1 * MIB)
+        iopmp.set_entry(0, IOPMPEntry(window, frozenset({NIC_SID}), Permission.rw()))
+        cost = iopmp.check(NIC_SID, window.base, AccessType.WRITE)
+        assert cost.refs == 0
+
+    def test_other_sid_denied(self, env):
+        _, _, iopmp = env
+        window = MemRegion(BASE + 16 * MIB, 1 * MIB)
+        iopmp.set_entry(0, IOPMPEntry(window, frozenset({NIC_SID}), Permission.rw()))
+        with pytest.raises(AccessFault):
+            iopmp.check(DISK_SID, window.base, AccessType.WRITE)
+
+    def test_unmatched_address_denied(self, env):
+        _, _, iopmp = env
+        window = MemRegion(BASE + 16 * MIB, 1 * MIB)
+        iopmp.set_entry(0, IOPMPEntry(window, frozenset({NIC_SID}), Permission.rw()))
+        with pytest.raises(AccessFault):
+            iopmp.check(NIC_SID, BASE, AccessType.READ)
+
+    def test_priority_lowest_entry_wins(self, env):
+        _, _, iopmp = env
+        window = MemRegion(BASE + 16 * MIB, 1 * MIB)
+        iopmp.set_entry(0, IOPMPEntry(window, frozenset({NIC_SID}), Permission.none()))
+        iopmp.set_entry(1, IOPMPEntry(window, frozenset({NIC_SID}), Permission.rw()))
+        with pytest.raises(AccessFault):
+            iopmp.check(NIC_SID, window.base, AccessType.READ)
+
+    def test_read_only_window(self, env):
+        _, _, iopmp = env
+        window = MemRegion(BASE + 16 * MIB, 64 * KIB)
+        iopmp.set_entry(0, IOPMPEntry(window, frozenset({DISK_SID}), Permission(r=True)))
+        iopmp.check(DISK_SID, window.base, AccessType.READ)
+        with pytest.raises(AccessFault):
+            iopmp.check(DISK_SID, window.base, AccessType.WRITE)
+
+    def test_clear_entry(self, env):
+        _, _, iopmp = env
+        window = MemRegion(BASE + 16 * MIB, 64 * KIB)
+        iopmp.set_entry(0, IOPMPEntry(window, frozenset({NIC_SID}), Permission.rw()))
+        iopmp.clear_entry(0)
+        assert iopmp.free_entries() == iopmp.num_entries
+        with pytest.raises(AccessFault):
+            iopmp.check(NIC_SID, window.base, AccessType.READ)
+
+    def test_bad_index(self, env):
+        _, _, iopmp = env
+        with pytest.raises(ConfigurationError):
+            iopmp.set_entry(99, IOPMPEntry(MemRegion(BASE, 4096), frozenset({1}), Permission.rw()))
+
+
+class TestTableModeIOPMP:
+    def test_table_mode_page_granularity(self, env):
+        memory, hierarchy, iopmp = env
+        frames = FrameAllocator(MemRegion(BASE, 4 * MIB))
+        window = MemRegion(BASE + 16 * MIB, 1 * MIB)
+        table = PMPTable(memory, frames, window)
+        table.set_page_perm(window.base, Permission.rw())
+        iopmp.set_entry(0, IOPMPEntry(window, frozenset({NIC_SID}), table=table))
+        cost = iopmp.check(NIC_SID, window.base, AccessType.WRITE)
+        assert cost.refs == 2  # root + leaf pmpte
+        with pytest.raises(AccessFault):
+            iopmp.check(NIC_SID, window.base + 4096, AccessType.WRITE)  # page not granted
+
+    def test_table_mode_scales_past_entry_count(self, env):
+        """One table-mode entry manages more windows than 16 segments could."""
+        memory, hierarchy, iopmp = env
+        frames = FrameAllocator(MemRegion(BASE, 4 * MIB))
+        window = MemRegion(BASE + 16 * MIB, 8 * MIB)
+        table = PMPTable(memory, frames, window)
+        for i in range(64):  # 64 distinct 4 KiB DMA buffers
+            table.set_page_perm(window.base + i * 2 * 4096, Permission.rw())
+        iopmp.set_entry(0, IOPMPEntry(window, frozenset({NIC_SID}), table=table))
+        for i in range(64):
+            iopmp.check(NIC_SID, window.base + i * 2 * 4096, AccessType.WRITE)
+        with pytest.raises(AccessFault):
+            iopmp.check(NIC_SID, window.base + 4096, AccessType.WRITE)
+
+
+class TestDMAEngine:
+    def test_transfer_moves_and_charges(self, env):
+        memory, hierarchy, iopmp = env
+        window = MemRegion(BASE + 16 * MIB, 1 * MIB)
+        iopmp.set_entry(0, IOPMPEntry(window, frozenset({NIC_SID}), Permission.rw()))
+        engine = DMAEngine(NIC_SID, iopmp, hierarchy)
+        result = engine.transfer(window.base, 4096, write=True)
+        assert result.bytes_moved == 4096
+        assert result.cycles > 0
+        assert result.checker_refs == 0  # segment window
+
+    def test_transfer_denied_outside_window(self, env):
+        memory, hierarchy, iopmp = env
+        window = MemRegion(BASE + 16 * MIB, 64 * KIB)
+        iopmp.set_entry(0, IOPMPEntry(window, frozenset({NIC_SID}), Permission.rw()))
+        engine = DMAEngine(NIC_SID, iopmp, hierarchy)
+        with pytest.raises(AccessFault):
+            engine.transfer(window.base + 60 * KIB, 16 * KIB)  # runs past the end
+
+    def test_table_window_costs_refs(self, env):
+        memory, hierarchy, iopmp = env
+        frames = FrameAllocator(MemRegion(BASE, 4 * MIB))
+        window = MemRegion(BASE + 16 * MIB, 1 * MIB)
+        table = PMPTable(memory, frames, window)
+        table.set_range(window.base, 64 * KIB, Permission.rw())
+        iopmp.set_entry(0, IOPMPEntry(window, frozenset({NIC_SID}), table=table))
+        engine = DMAEngine(NIC_SID, iopmp, hierarchy)
+        result = engine.transfer(window.base, 4096)
+        assert result.checker_refs > 0
+
+    def test_bad_transfer_size(self, env):
+        _, hierarchy, iopmp = env
+        engine = DMAEngine(NIC_SID, iopmp, hierarchy)
+        with pytest.raises(ConfigurationError):
+            engine.transfer(BASE, 0)

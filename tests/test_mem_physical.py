@@ -1,0 +1,133 @@
+"""Unit tests for repro.mem.physical and repro.mem.allocator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import AlignmentError, MemoryError_
+from repro.common.types import MIB, PAGE_SIZE, MemRegion
+from repro.mem.allocator import FrameAllocator
+from repro.mem.physical import PhysicalMemory
+
+BASE = 0x8000_0000
+
+
+class TestPhysicalMemory:
+    def test_reads_zero_by_default(self):
+        mem = PhysicalMemory(1 * MIB, base=BASE)
+        assert mem.read64(BASE) == 0
+        assert mem.read64(BASE + 1 * MIB - 8) == 0
+
+    def test_write_read_roundtrip(self):
+        mem = PhysicalMemory(1 * MIB, base=BASE)
+        mem.write64(BASE + 64, 0xDEAD_BEEF)
+        assert mem.read64(BASE + 64) == 0xDEAD_BEEF
+
+    def test_write_truncates_to_64_bits(self):
+        mem = PhysicalMemory(1 * MIB, base=BASE)
+        mem.write64(BASE, 1 << 80 | 5)
+        assert mem.read64(BASE) == 5
+
+    def test_unaligned_rejected(self):
+        mem = PhysicalMemory(1 * MIB, base=BASE)
+        with pytest.raises(AlignmentError):
+            mem.read64(BASE + 4)
+        with pytest.raises(AlignmentError):
+            mem.write64(BASE + 1, 0)
+
+    def test_out_of_range_rejected(self):
+        mem = PhysicalMemory(1 * MIB, base=BASE)
+        with pytest.raises(MemoryError_):
+            mem.read64(BASE - 8)
+        with pytest.raises(MemoryError_):
+            mem.read64(BASE + 1 * MIB)
+
+    def test_fill_zero_reclaims_storage(self):
+        mem = PhysicalMemory(1 * MIB, base=BASE)
+        mem.write64(BASE, 7)
+        mem.fill(BASE, PAGE_SIZE, 0)
+        assert mem.read64(BASE) == 0
+        assert mem.touched_words() == 0
+
+    def test_fill_value(self):
+        mem = PhysicalMemory(1 * MIB, base=BASE)
+        mem.fill(BASE, 64, 0xAA)
+        assert all(mem.read64(BASE + i) == 0xAA for i in range(0, 64, 8))
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(MemoryError_):
+            PhysicalMemory(0)
+
+    @given(st.integers(0, (1 * MIB - 8) // 8), st.integers(0, 2**64 - 1))
+    def test_sparse_roundtrip(self, word_index, value):
+        mem = PhysicalMemory(1 * MIB, base=BASE)
+        addr = BASE + word_index * 8
+        mem.write64(addr, value)
+        assert mem.read64(addr) == value
+
+
+class TestFrameAllocator:
+    def region(self, mib=4):
+        return MemRegion(BASE, mib * MIB)
+
+    def test_sequential_alloc_is_contiguous(self):
+        alloc = FrameAllocator(self.region())
+        frames = [alloc.alloc() for _ in range(8)]
+        assert frames == [BASE + i * PAGE_SIZE for i in range(8)]
+
+    def test_scatter_alloc_is_not_contiguous(self):
+        alloc = FrameAllocator(self.region(), scatter=True, seed=7)
+        frames = [alloc.alloc() for _ in range(8)]
+        deltas = {b - a for a, b in zip(frames, frames[1:])}
+        assert deltas != {PAGE_SIZE}
+
+    def test_scatter_is_deterministic(self):
+        a = FrameAllocator(self.region(), scatter=True, seed=3)
+        b = FrameAllocator(self.region(), scatter=True, seed=3)
+        assert [a.alloc() for _ in range(16)] == [b.alloc() for _ in range(16)]
+
+    def test_free_then_realloc(self):
+        alloc = FrameAllocator(self.region(mib=1))
+        frames = [alloc.alloc() for _ in range(alloc.free_frames)]
+        assert alloc.free_frames == 0
+        alloc.free(frames[0])
+        assert alloc.alloc() == frames[0]
+
+    def test_exhaustion_raises(self):
+        alloc = FrameAllocator(MemRegion(BASE, PAGE_SIZE))
+        alloc.alloc()
+        with pytest.raises(MemoryError_):
+            alloc.alloc()
+
+    def test_double_free_rejected(self):
+        alloc = FrameAllocator(self.region())
+        frame = alloc.alloc()
+        alloc.free(frame)
+        with pytest.raises(MemoryError_):
+            alloc.free(frame)
+
+    def test_alloc_contiguous_on_scattered_pool(self):
+        alloc = FrameAllocator(self.region(), scatter=True, seed=1)
+        base = alloc.alloc_contiguous(16)
+        assert base % PAGE_SIZE == 0
+        # All 16 frames must now be allocated.
+        assert all(alloc.owns(base + i * PAGE_SIZE) for i in range(16))
+
+    def test_reserve_removes_frames(self):
+        alloc = FrameAllocator(self.region())
+        alloc.reserve(BASE, 4 * PAGE_SIZE)
+        assert alloc.alloc() == BASE + 4 * PAGE_SIZE
+
+    def test_reserve_conflicts_rejected(self):
+        alloc = FrameAllocator(self.region())
+        frame = alloc.alloc()
+        with pytest.raises(MemoryError_):
+            alloc.reserve(frame, PAGE_SIZE)
+
+    def test_owns_outside_region(self):
+        alloc = FrameAllocator(self.region())
+        assert alloc.owns(BASE - PAGE_SIZE) is None
+
+    def test_unaligned_region_rejected(self):
+        with pytest.raises(MemoryError_):
+            FrameAllocator(MemRegion(BASE + 1, PAGE_SIZE))

@@ -1,0 +1,152 @@
+"""Unit tests for the TLB and page-walk cache."""
+
+from repro.common.params import TLBParams
+from repro.common.types import PAGE_SIZE, Permission
+from repro.paging.ptecache import PageWalkCache
+from repro.paging.tlb import TLB, TLBEntry
+
+
+def make_tlb(l1_entries=4, l2_entries=16):
+    return TLB(
+        TLBParams("l1", entries=l1_entries, ways=l1_entries, hit_latency=0),
+        TLBParams("l2", entries=l2_entries, ways=1, hit_latency=4),
+    )
+
+
+def entry(vpn, asid=0, checker_perm=None):
+    return TLBEntry(vpn=vpn, ppn=vpn + 100, perm=Permission.rw(), user=True, asid=asid, checker_perm=checker_perm)
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        tlb = make_tlb()
+        found, _ = tlb.lookup(0x1000)
+        assert found is None
+        tlb.fill(entry(1))
+        found, latency = tlb.lookup(0x1000)
+        assert found is not None and found.ppn == 101
+        assert latency == 0  # L1 hit
+
+    def test_l2_hit_promotes_to_l1(self):
+        tlb = make_tlb(l1_entries=2)
+        for vpn in range(4):
+            tlb.fill(entry(vpn))
+        # vpn 0 and 1 were evicted from the 2-entry L1 but live in L2.
+        found, latency = tlb.lookup(0)
+        assert found is not None
+        assert latency == 4
+        found, latency = tlb.lookup(0)
+        assert latency == 0  # promoted
+
+    def test_l1_is_lru(self):
+        tlb = make_tlb(l1_entries=2)
+        tlb.fill(entry(1))
+        tlb.fill(entry(2))
+        tlb.lookup(PAGE_SIZE * 1)  # touch vpn 1
+        tlb.fill(entry(3))  # evicts vpn 2 from L1
+        _, lat1 = tlb.lookup(PAGE_SIZE * 1)
+        _, lat2 = tlb.lookup(PAGE_SIZE * 2)
+        assert lat1 == 0 and lat2 == 4
+
+    def test_asid_isolation(self):
+        tlb = make_tlb()
+        tlb.fill(entry(1, asid=1))
+        found, _ = tlb.lookup(PAGE_SIZE, asid=2)
+        assert found is None
+        found, _ = tlb.lookup(PAGE_SIZE, asid=1)
+        assert found is not None
+
+    def test_flush_all(self):
+        tlb = make_tlb()
+        tlb.fill(entry(1))
+        tlb.flush()
+        assert tlb.lookup(PAGE_SIZE)[0] is None
+
+    def test_flush_by_asid(self):
+        tlb = make_tlb()
+        tlb.fill(entry(1, asid=1))
+        tlb.fill(entry(2, asid=2))
+        tlb.flush(asid=1)
+        assert tlb.lookup(PAGE_SIZE, asid=1)[0] is None
+        assert tlb.lookup(2 * PAGE_SIZE, asid=2)[0] is not None
+
+    def test_flush_page(self):
+        tlb = make_tlb()
+        tlb.fill(entry(1))
+        tlb.fill(entry(2))
+        tlb.flush_page(PAGE_SIZE)
+        assert tlb.lookup(PAGE_SIZE)[0] is None
+        assert tlb.lookup(2 * PAGE_SIZE)[0] is not None
+
+    def test_direct_mapped_conflict(self):
+        tlb = make_tlb(l1_entries=1, l2_entries=4)
+        tlb.fill(entry(1))
+        tlb.fill(entry(5))  # vpn 5 % 4 == vpn 1 % 4 -> conflict in L2
+        tlb.fill(entry(2))  # push vpn 1/5 out of 1-entry L1
+        tlb.fill(entry(3))
+        assert tlb.lookup(PAGE_SIZE * 1)[0] is None  # lost the L2 conflict
+        assert tlb.lookup(PAGE_SIZE * 5)[0] is not None
+
+    def test_inlined_permission_survives_fill(self):
+        tlb = make_tlb()
+        tlb.fill(entry(1, checker_perm=Permission.rx()))
+        found, _ = tlb.lookup(PAGE_SIZE)
+        assert found.checker_perm == Permission.rx()
+
+    def test_stats(self):
+        tlb = make_tlb()
+        tlb.lookup(0)
+        tlb.fill(entry(0))
+        tlb.lookup(0)
+        assert tlb.stats["miss"] == 1
+        assert tlb.stats["l1_hit"] == 1
+
+
+class TestPageWalkCache:
+    ROOT = 0x8000_0000
+
+    def test_empty_lookup(self):
+        pwc = PageWalkCache(8)
+        assert pwc.lookup(self.ROOT, 0x4000_0000, 3) is None
+
+    def test_insert_then_lookup_deepest(self):
+        pwc = PageWalkCache(8)
+        va = 0x4000_0000
+        pwc.insert(self.ROOT, va, level=1, table_pa=0x9000_0000, levels=3)
+        pwc.insert(self.ROOT, va, level=0, table_pa=0x9100_0000, levels=3)
+        assert pwc.lookup(self.ROOT, va, 3) == (0, 0x9100_0000)
+
+    def test_prefix_sharing_between_adjacent_pages(self):
+        """Adjacent pages share all non-leaf prefixes (the TC3 state)."""
+        pwc = PageWalkCache(8)
+        va = 0x4000_0000
+        pwc.insert(self.ROOT, va, level=0, table_pa=0x9100_0000, levels=3)
+        assert pwc.lookup(self.ROOT, va + PAGE_SIZE, 3) == (0, 0x9100_0000)
+
+    def test_distant_va_does_not_share(self):
+        pwc = PageWalkCache(8)
+        pwc.insert(self.ROOT, 0x4000_0000, level=0, table_pa=0x9100_0000, levels=3)
+        assert pwc.lookup(self.ROOT, 0x4000_0000 + (1 << 21), 3) is None
+
+    def test_capacity_eviction(self):
+        pwc = PageWalkCache(2)
+        for i in range(3):
+            pwc.insert(self.ROOT, i << 21, level=0, table_pa=0x9000_0000 + i * PAGE_SIZE, levels=3)
+        assert pwc.lookup(self.ROOT, 0 << 21, 3) is None  # evicted
+        assert pwc.lookup(self.ROOT, 2 << 21, 3) is not None
+
+    def test_zero_capacity_disables(self):
+        pwc = PageWalkCache(0)
+        pwc.insert(self.ROOT, 0x4000_0000, level=0, table_pa=0x9100_0000, levels=3)
+        assert pwc.lookup(self.ROOT, 0x4000_0000, 3) is None
+
+    def test_flush(self):
+        pwc = PageWalkCache(8)
+        pwc.insert(self.ROOT, 0x4000_0000, level=0, table_pa=0x9100_0000, levels=3)
+        pwc.flush()
+        assert pwc.lookup(self.ROOT, 0x4000_0000, 3) is None
+
+    def test_separate_roots_do_not_alias(self):
+        pwc = PageWalkCache(8)
+        pwc.insert(self.ROOT, 0x4000_0000, level=0, table_pa=0x9100_0000, levels=3)
+        assert pwc.lookup(self.ROOT + PAGE_SIZE, 0x4000_0000, 3) is None

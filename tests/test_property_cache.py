@@ -1,0 +1,119 @@
+"""Property tests for the cache model against reference implementations."""
+
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.params import CacheParams, rocket
+from repro.mem.cache import Cache
+from repro.mem.hierarchy import MemoryHierarchy
+
+
+class ReferenceLRUCache:
+    """Trivially correct set-associative LRU model."""
+
+    def __init__(self, sets: int, ways: int, line: int = 64):
+        self.sets = sets
+        self.ways = ways
+        self.line = line
+        self.state = [OrderedDict() for _ in range(sets)]
+
+    def _set(self, addr):
+        return (addr // self.line) % self.sets
+
+    def _tag(self, addr):
+        return addr // self.line
+
+    def probe(self, addr) -> bool:
+        cset = self.state[self._set(addr)]
+        tag = self._tag(addr)
+        if tag in cset:
+            cset.move_to_end(tag)
+            return True
+        return False
+
+    def insert(self, addr) -> None:
+        cset = self.state[self._set(addr)]
+        tag = self._tag(addr)
+        if tag in cset:
+            cset.move_to_end(tag)
+            return
+        if len(cset) >= self.ways:
+            cset.popitem(last=False)
+        cset[tag] = None
+
+
+ops_strategy = st.lists(
+    st.tuples(st.sampled_from(["access", "probe_only"]), st.integers(0, 1 << 16)),
+    min_size=1,
+    max_size=300,
+)
+
+
+class TestCacheVsReference:
+    @settings(max_examples=40, deadline=None)
+    @given(ops_strategy)
+    def test_hit_miss_sequence_matches(self, operations):
+        cache = Cache(CacheParams("t", 2048, ways=2, line_bytes=64))
+        reference = ReferenceLRUCache(cache.num_sets, 2)
+        for op, addr in operations:
+            expected = reference.probe(addr)
+            got = cache.probe(addr)
+            assert got == expected, (op, hex(addr))
+            if op == "access":
+                reference.insert(addr)
+                cache.insert(addr)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 18), min_size=1, max_size=200))
+    def test_occupancy_matches(self, addrs):
+        cache = Cache(CacheParams("t", 4096, ways=4, line_bytes=64))
+        reference = ReferenceLRUCache(cache.num_sets, 4)
+        for addr in addrs:
+            cache.insert(addr)
+            reference.insert(addr)
+        assert cache.resident_lines() == sum(len(s) for s in reference.state)
+
+
+class TestHierarchyInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 22).map(lambda x: 0x8000_0000 + x), min_size=1, max_size=150))
+    def test_latency_bounded_and_monotone_warm(self, addrs):
+        """Every access costs at least an L1 hit and at most a full miss;
+        re-accessing immediately always costs exactly an L1 hit."""
+        params = rocket()
+        hierarchy = MemoryHierarchy(params)
+        full_miss = (
+            params.l1d.hit_latency + params.l2.hit_latency + params.llc.hit_latency + params.dram_latency
+        )
+        for addr in addrs:
+            latency = hierarchy.access(addr)
+            assert params.l1d.hit_latency <= latency <= full_miss
+            assert hierarchy.access(addr) == params.l1d.hit_latency
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 22).map(lambda x: 0x8000_0000 + x), min_size=1, max_size=100))
+    def test_peek_never_mutates(self, addrs):
+        hierarchy = MemoryHierarchy(rocket())
+        for addr in addrs[: len(addrs) // 2]:
+            hierarchy.access(addr)
+        resident_before = (
+            hierarchy.l1d.resident_lines(),
+            hierarchy.l2.resident_lines(),
+            hierarchy.llc.resident_lines(),
+        )
+        for addr in addrs:
+            hierarchy.peek_latency(addr)
+        assert resident_before == (
+            hierarchy.l1d.resident_lines(),
+            hierarchy.l2.resident_lines(),
+            hierarchy.llc.resident_lines(),
+        )
+
+    def test_dram_count_never_exceeds_refs(self):
+        hierarchy = MemoryHierarchy(rocket())
+        for i in range(64):
+            hierarchy.access(0x8000_0000 + i * 64)
+        assert hierarchy.stats["dram_refs"] <= hierarchy.stats["refs"]

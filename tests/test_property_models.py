@@ -1,0 +1,153 @@
+"""Property-based tests pitting core structures against reference models.
+
+Each structure under test is driven with randomized operation sequences and
+compared, step by step, against a trivially correct Python model:
+
+* PMPTable vs. a dict of page -> permission;
+* the PMP register file's priority matching vs. a brute-force scan;
+* the two-level TLB vs. a dict (correctness of translations, never freshness);
+* the GPT vs. a dict of granule -> PAS.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.types import KIB, MIB, PAGE_SIZE, MemRegion, Permission
+from repro.isolation.gpt import GPT, PAS
+from repro.isolation.pmp import AddrMatch, PMPEntry, PMPRegisterFile, napot_addr
+from repro.isolation.pmptable import PMPTable
+from repro.mem.allocator import FrameAllocator
+from repro.mem.physical import PhysicalMemory
+from repro.paging.tlb import TLB, TLBEntry
+from repro.common.params import TLBParams
+
+BASE = 0x8000_0000
+
+perm_strategy = st.integers(0, 7).map(Permission.from_bits)
+
+
+class TestPMPTableVsModel:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["page", "range"]),
+                st.integers(0, 1023),  # page index within a 4 MiB window
+                st.integers(1, 64),  # range length in pages
+                perm_strategy,
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_lookup_matches_dict_model(self, operations):
+        memory = PhysicalMemory(64 * MIB, base=BASE)
+        allocator = FrameAllocator(MemRegion(BASE, 16 * MIB))
+        region = MemRegion(BASE + 16 * MIB, 4 * MIB)
+        table = PMPTable(memory, allocator, region)
+        model = {}
+        for kind, page, length, perm in operations:
+            if kind == "page":
+                pa = region.base + page * PAGE_SIZE
+                table.set_page_perm(pa, perm)
+                model[page] = perm
+            else:
+                start = min(page, 1024 - length)
+                table.set_range(region.base + start * PAGE_SIZE, length * PAGE_SIZE, perm)
+                for p in range(start, start + length):
+                    model[p] = perm
+        for page in range(0, 1024, 7):
+            expected = model.get(page, Permission.none())
+            got = table.lookup(region.base + page * PAGE_SIZE).perm
+            assert (got or Permission.none()) == expected, f"page {page}"
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 1023), perm_strategy)
+    def test_huge_then_shatter_preserves_neighbors(self, page, perm):
+        memory = PhysicalMemory(128 * MIB, base=BASE)
+        allocator = FrameAllocator(MemRegion(BASE, 16 * MIB))
+        region = MemRegion(BASE + 32 * MIB, 32 * MIB)
+        table = PMPTable(memory, allocator, region)
+        table.set_range(region.base, 32 * MIB, Permission.rw())  # one huge pmpte
+        pa = region.base + page * PAGE_SIZE
+        table.set_page_perm(pa, perm)
+        assert table.lookup(pa).perm == perm
+        neighbor = region.base + ((page + 1) % 1024) * PAGE_SIZE
+        if neighbor != pa:
+            assert table.lookup(neighbor).perm == Permission.rw()
+
+
+class TestPMPPriorityVsModel:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 63), st.integers(2, 6), perm_strategy),
+            min_size=1,
+            max_size=12,
+        ),
+        st.integers(0, 63),
+    )
+    def test_match_is_lowest_covering_entry(self, entries, probe_chunk):
+        """entry = (index, base chunk, log2 size in 64K chunks, perm)."""
+        regfile = PMPRegisterFile()
+        model = {}
+        for index, chunk, log_chunks, perm in entries:
+            size = (1 << log_chunks) * 64 * KIB
+            base = BASE + (chunk * 64 * KIB // size) * size  # align naturally
+            regfile.set_entry(
+                index, PMPEntry(perm=perm, match=AddrMatch.NAPOT, addr=napot_addr(base, size))
+            )
+            model[index] = MemRegion(base, size)
+        probe = BASE + probe_chunk * 64 * KIB
+        expected = min((i for i, r in model.items() if r.contains(probe, 8)), default=None)
+        assert regfile.match(probe) == expected
+
+
+class TestTLBVsModel:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["fill", "lookup", "flush_page"]), st.integers(0, 63)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_hits_are_always_correct(self, operations):
+        """The TLB may forget entries (capacity) but must never lie."""
+        tlb = TLB(TLBParams("l1", 4, 4), TLBParams("l2", 16, 1, hit_latency=4))
+        model = {}
+        for op, vpn in operations:
+            if op == "fill":
+                tlb.fill(TLBEntry(vpn=vpn, ppn=vpn + 1000, perm=Permission.rw(), user=True))
+                model[vpn] = vpn + 1000
+            elif op == "flush_page":
+                tlb.flush_page(vpn * PAGE_SIZE)
+                model.pop(vpn, None)
+            else:
+                entry, _ = tlb.lookup(vpn * PAGE_SIZE)
+                if entry is not None:
+                    assert model.get(vpn) == entry.ppn
+
+
+class TestGPTVsModel:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 255), st.sampled_from([PAS.SECURE, PAS.NONSECURE, PAS.REALM, PAS.ANY])),
+            min_size=1,
+            max_size=24,
+        )
+    )
+    def test_granule_assignment_matches_model(self, writes):
+        memory = PhysicalMemory(256 * MIB, base=BASE)
+        allocator = FrameAllocator(MemRegion(BASE, 64 * MIB))
+        region = MemRegion(BASE + 64 * MIB, 128 * MIB)
+        gpt = GPT(memory, allocator, region)
+        model = {}
+        for granule, pas in writes:
+            gpt.set_granule(region.base + granule * PAGE_SIZE, pas)
+            model[granule] = pas
+        for granule in range(0, 256, 5):
+            expected = model.get(granule, PAS.NO_ACCESS)
+            assert gpt.lookup(region.base + granule * PAGE_SIZE)[0] is expected

@@ -1,0 +1,193 @@
+"""Tests for the mini RISC-V CPU and assembler."""
+
+import pytest
+
+from repro.common.types import PAGE_SIZE, Permission
+from repro.soc.cpu import AssemblyError, CPU, assemble
+from repro.soc.system import System
+
+DATA_VA = 0x40_0000_0000
+TEXT_VA = 0x10_0000_0000
+
+
+@pytest.fixture
+def env():
+    system = System(machine="rocket", checker_kind="pmp", mem_mib=128)
+    space = system.new_address_space()
+    space.map(DATA_VA, 16 * PAGE_SIZE)
+    cpu = CPU(system.machine, space.page_table, asid=space.asid)
+    return system, space, cpu
+
+
+class TestAssembler:
+    def test_basic_program(self):
+        program = assemble("li a0, 5\naddi a0, a0, 2\necall\n")
+        assert len(program) == 3
+        assert program[0].opcode == "li" and program[0].imm == 5
+
+    def test_labels_resolve_to_indices(self):
+        program = assemble(
+            """
+            li t0, 3
+            loop: addi t0, t0, -1
+            bne t0, zero, loop
+            ecall
+            """
+        )
+        branch = program[2]
+        assert branch.imm == 1  # index of the loop body
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("# header\n\nli a0, 1  # set\necall\n")
+        assert len(program) == 2
+
+    def test_memory_operands(self):
+        program = assemble("ld a0, 8(a1)\nsd a0, -16(sp)\necall")
+        assert program[0].imm == 8 and program[1].imm == -16
+
+    def test_abi_and_numeric_registers(self):
+        program = assemble("add x5, t0, a0\necall")
+        assert program[0].rd == 5 and program[0].rs1 == 5 and program[0].rs2 == 10
+
+    def test_unknown_opcode(self):
+        with pytest.raises(AssemblyError):
+            assemble("vadd a0, a1, a2")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblyError):
+            assemble("j nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError):
+            assemble("x: nop\nx: nop")
+
+    def test_operand_count_checked(self):
+        with pytest.raises(AssemblyError):
+            assemble("add a0, a1")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError):
+            assemble("li q0, 1")
+
+
+class TestExecution:
+    def test_arithmetic(self, env):
+        _, _, cpu = env
+        result = cpu.run(assemble("li a0, 6\nli a1, 7\nmul a2, a0, a1\necall"))
+        assert result.halted
+        assert cpu.regs[12] == 42
+
+    def test_x0_is_hardwired_zero(self, env):
+        _, _, cpu = env
+        cpu.run(assemble("li zero, 99\necall"))
+        assert cpu.regs[0] == 0
+
+    def test_loop_sums(self, env):
+        _, _, cpu = env
+        # sum 1..10 into a0
+        cpu.run(
+            assemble(
+                """
+                li a0, 0
+                li t0, 10
+                loop:
+                add a0, a0, t0
+                addi t0, t0, -1
+                bne t0, zero, loop
+                ecall
+                """
+            )
+        )
+        assert cpu.regs[10] == 55
+
+    def test_store_then_load_round_trip(self, env):
+        system, space, cpu = env
+        program = assemble(
+            f"""
+            li a1, {DATA_VA}
+            li a0, 1234
+            sd a0, 0(a1)
+            ld a2, 0(a1)
+            ecall
+            """
+        )
+        result = cpu.run(program)
+        assert cpu.regs[12] == 1234
+        assert result.loads == 1 and result.stores == 1
+
+    def test_signed_branches(self, env):
+        _, _, cpu = env
+        cpu.run(
+            assemble(
+                """
+                li t0, -1
+                li t1, 1
+                li a0, 0
+                blt t0, t1, less
+                li a0, 111
+                less: ecall
+                """
+            )
+        )
+        assert cpu.regs[10] == 0
+
+    def test_jal_jalr_call_return(self, env):
+        _, _, cpu = env
+        cpu.run(
+            assemble(
+                """
+                li a0, 1
+                jal ra, func
+                addi a0, a0, 100
+                ecall
+                func:
+                addi a0, a0, 10
+                jalr zero, ra
+                """
+            )
+        )
+        assert cpu.regs[10] == 111
+
+    def test_budget_stops_runaway(self, env):
+        _, _, cpu = env
+        result = cpu.run(assemble("spin: j spin"), max_instructions=100)
+        assert not result.halted
+        assert result.instructions == 100
+
+    def test_memory_latency_appears_in_cycles(self, env):
+        system, _, cpu = env
+        system.machine.cold_boot()
+        program = assemble(f"li a1, {DATA_VA}\nld a0, 0(a1)\necall")
+        result = cpu.run(program)
+        assert result.cycles > result.instructions  # the ld paid real latency
+
+    def test_cpi_property(self, env):
+        _, _, cpu = env
+        result = cpu.run(assemble("nop\nnop\necall"))
+        assert result.cpi >= 1.0
+
+
+class TestCheckerVisibleFromAssembly:
+    def test_single_ld_latency_orders_schemes(self):
+        """The paper's microbenchmark, written as actual instructions."""
+        cycles = {}
+        for kind in ("pmp", "hpmp", "pmpt"):
+            system = System(machine="rocket", checker_kind=kind, mem_mib=128)
+            space = system.new_address_space()
+            space.map(DATA_VA, PAGE_SIZE)
+            system.machine.cold_boot()
+            cpu = CPU(system.machine, space.page_table, asid=space.asid)
+            result = cpu.run(assemble(f"li a1, {DATA_VA}\nld a0, 0(a1)\necall"))
+            cycles[kind] = result.cycles
+        assert cycles["pmp"] < cycles["hpmp"] < cycles["pmpt"]
+
+    def test_instruction_fetch_side(self):
+        system = System(machine="rocket", checker_kind="pmp", mem_mib=128)
+        space = system.new_address_space()
+        space.map(DATA_VA, PAGE_SIZE)
+        space.map(TEXT_VA, PAGE_SIZE, Permission.rx())
+        cpu = CPU(system.machine, space.page_table, asid=space.asid, fetch_base_va=TEXT_VA)
+        system.machine.cold_boot()
+        result = cpu.run(assemble("nop\nnop\nnop\necall"))
+        assert system.machine.hierarchy.l1i.resident_lines() > 0
+        assert result.cycles > 4  # fetch line miss charged

@@ -1,0 +1,61 @@
+"""Additional edge-case tests across small modules (errors, CLI, stats)."""
+
+import pytest
+
+from repro.common.errors import (
+    AccessFault,
+    GuestPageFault,
+    PageFault,
+    ReproError,
+)
+from repro.common.types import AccessType, Permission
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (PageFault(0x1000), AccessFault(0x1000, "r"), GuestPageFault(0x2000)):
+            assert isinstance(exc, ReproError)
+
+    def test_page_fault_carries_context(self):
+        fault = PageFault(0xABC000, "invalid PTE at level 1")
+        assert fault.vaddr == 0xABC000
+        assert "invalid PTE" in str(fault)
+        assert "0xabc000" in str(fault)
+
+    def test_guest_page_fault_is_a_page_fault(self):
+        fault = GuestPageFault(0x5000, "unbacked")
+        assert isinstance(fault, PageFault)
+        assert fault.gpa == 0x5000
+
+    def test_access_fault_fields(self):
+        fault = AccessFault(0x8000_0000, AccessType.WRITE.value, "denied by entry 3")
+        assert fault.paddr == 0x8000_0000
+        assert fault.access == "w"
+        assert "denied by entry 3" in str(fault)
+
+
+class TestPermissionEdgeCases:
+    def test_bits_ignore_high_garbage(self):
+        assert Permission.from_bits(0b1111 & 0x7) == Permission.rwx()
+
+    def test_order_of_operations(self):
+        combined = (Permission.rw() | Permission.rx()) & Permission(r=True, x=True)
+        assert combined == Permission.rx()
+
+    def test_permission_is_hashable(self):
+        assert len({Permission.rw(), Permission.rw(), Permission.rx()}) == 2
+
+
+class TestCLIAllPathLight:
+    def test_unknown_mixed_with_known_rejected_before_running(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["fig02", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "nope" in err
+
+    def test_help_flag(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["--help"]) == 0
+        assert "summary" in capsys.readouterr().out

@@ -1,0 +1,111 @@
+"""Tests for the assembly kernel library."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.common.types import PAGE_SIZE
+from repro.soc.cpu import CPU
+from repro.soc.programs import build_chain, memcpy, memset, pointer_chase, reduce_sum, strided_read
+from repro.soc.system import System
+
+VA = 0x40_0000_0000
+
+
+@pytest.fixture
+def env():
+    system = System(machine="rocket", checker_kind="pmp", mem_mib=128)
+    space = system.new_address_space()
+    space.map(VA, 32 * PAGE_SIZE)
+    cpu = CPU(system.machine, space.page_table, asid=space.asid)
+    return system, space, cpu
+
+
+class TestMemset:
+    def test_fills_memory(self, env):
+        system, space, cpu = env
+        result = cpu.run(memset(VA, 256, value=7))
+        assert result.halted and result.stores == 32
+        pa = space.pa_of(VA)
+        assert all(system.memory.read64(pa + off) == 7 for off in range(0, 256, 8))
+
+    def test_does_not_overrun(self, env):
+        system, space, cpu = env
+        cpu.run(memset(VA, 64, value=9))
+        pa = space.pa_of(VA)
+        assert system.memory.read64(pa + 64) == 0
+
+    def test_bad_size(self):
+        with pytest.raises(WorkloadError):
+            memset(VA, 12)
+
+
+class TestMemcpy:
+    def test_copies(self, env):
+        system, space, cpu = env
+        src_pa = space.pa_of(VA)
+        for i in range(8):
+            system.memory.write64(src_pa + i * 8, 100 + i)
+        result = cpu.run(memcpy(VA + PAGE_SIZE, VA, 64))
+        dst_pa = space.pa_of(VA + PAGE_SIZE)
+        assert [system.memory.read64(dst_pa + i * 8) for i in range(8)] == [100 + i for i in range(8)]
+        assert result.loads == 8 and result.stores == 8
+
+
+class TestStridedRead:
+    def test_counts_loads(self, env):
+        _, _, cpu = env
+        result = cpu.run(strided_read(VA, 16, stride=PAGE_SIZE))
+        assert result.loads == 16
+
+    def test_page_stride_misses_tlb_per_access(self, env):
+        system, _, cpu = env
+        system.machine.cold_boot()
+        cpu.run(strided_read(VA, 16, stride=PAGE_SIZE))
+        assert system.machine.stats["tlb_misses"] >= 16
+
+
+class TestPointerChase:
+    def test_follows_chain(self, env):
+        system, space, cpu = env
+        build_chain(system, space, VA, num_nodes=8)
+        result = cpu.run(pointer_chase(VA, hops=8))
+        assert cpu.regs[10] == VA  # full cycle returns to the head
+        assert result.loads == 8
+
+    def test_chain_requires_mapping(self, env):
+        system, space, _ = env
+        with pytest.raises(WorkloadError):
+            build_chain(system, space, VA + 1024 * PAGE_SIZE, num_nodes=2)
+
+    def test_chase_is_serial_latency(self, env):
+        """Each hop depends on the previous load: cycles scale with hops."""
+        system, space, cpu = env
+        build_chain(system, space, VA, num_nodes=16)
+        system.machine.cold_boot()
+        short = cpu.run(pointer_chase(VA, hops=4)).cycles
+        system.machine.cold_boot()
+        long = cpu.run(pointer_chase(VA, hops=16)).cycles
+        assert long > short
+
+
+class TestReduce:
+    def test_sums(self, env):
+        system, space, cpu = env
+        pa = space.pa_of(VA)
+        for i in range(10):
+            system.memory.write64(pa + i * 8, i + 1)
+        cpu.run(reduce_sum(VA, 10))
+        assert cpu.regs[10] == 55
+
+
+class TestCrossScheme:
+    def test_memset_cost_orders_schemes(self):
+        cycles = {}
+        for kind in ("pmp", "hpmp", "pmpt"):
+            system = System(machine="rocket", checker_kind=kind, mem_mib=128)
+            space = system.new_address_space()
+            space.map(VA, 32 * PAGE_SIZE)
+            system.machine.cold_boot()
+            cpu = CPU(system.machine, space.page_table, asid=space.asid)
+            cycles[kind] = cpu.run(memset(VA, 32 * PAGE_SIZE)).cycles
+        assert cycles["pmp"] < cycles["hpmp"] < cycles["pmpt"]

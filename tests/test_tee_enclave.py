@@ -1,0 +1,91 @@
+"""Tests for the enclave runtime (launch / access / destroy)."""
+
+import pytest
+
+from repro.common.errors import AccessFault, MonitorError
+from repro.common.types import AccessType, PAGE_SIZE, PrivilegeMode
+from repro.soc.system import System
+from repro.tee.enclave import ENCLAVE_HEAP_VA, ENCLAVE_STACK_VA, ENCLAVE_TEXT_VA, EnclaveRuntime, _round_pow2
+from repro.tee.monitor import HOST_DOMAIN_ID, SecureMonitor
+from repro.workloads.kernel import KernelModel
+
+S = PrivilegeMode.SUPERVISOR
+
+
+@pytest.fixture
+def runtime():
+    system = System(machine="rocket", checker_kind="hpmp", mem_mib=256)
+    monitor = SecureMonitor(system)
+    kernel = KernelModel(system, heap_pages=128, seed=0)
+    return system, monitor, EnclaveRuntime(system, monitor, kernel)
+
+
+class TestRoundPow2:
+    @pytest.mark.parametrize("value,expected", [(1, 1), (2, 2), (3, 4), (17, 32), (64, 64)])
+    def test_values(self, value, expected):
+        assert _round_pow2(value) == expected
+
+
+class TestLaunch:
+    def test_launch_maps_segments(self, runtime):
+        system, monitor, rt = runtime
+        handle = rt.launch("app", text_pages=4, heap_pages=8, stack_pages=2)
+        assert handle.launch_cycles > 0
+        # All three segments resolve inside the granted GMS.
+        for va in (ENCLAVE_TEXT_VA, ENCLAVE_HEAP_VA, ENCLAVE_STACK_VA):
+            pa = handle.space.pa_of(va)
+            assert handle.gms.region.contains(pa)
+
+    def test_launch_enters_the_domain(self, runtime):
+        _, monitor, rt = runtime
+        handle = rt.launch("app", text_pages=2, heap_pages=4)
+        assert monitor.current_domain_id == handle.domain_id
+
+    def test_text_is_execute_only_for_writes(self, runtime):
+        system, _, rt = runtime
+        handle = rt.launch("app", text_pages=2, heap_pages=4)
+        from repro.common.errors import PageFault
+
+        rt.access(handle, ENCLAVE_TEXT_VA, AccessType.FETCH)
+        with pytest.raises(PageFault):
+            rt.access(handle, ENCLAVE_TEXT_VA, AccessType.WRITE)
+
+    def test_heap_read_write(self, runtime):
+        _, _, rt = runtime
+        handle = rt.launch("app", text_pages=2, heap_pages=4)
+        assert rt.access(handle, ENCLAVE_HEAP_VA, AccessType.WRITE) > 0
+        assert rt.access(handle, ENCLAVE_HEAP_VA, AccessType.READ) > 0
+
+    def test_reserve_pages_enlarge_gms(self, runtime):
+        _, _, rt = runtime
+        small = rt.launch("small", text_pages=2, heap_pages=4)
+        rt.destroy(small)
+        big = rt.launch("big", text_pages=2, heap_pages=4, reserve_pages=100)
+        assert big.gms.region.size > small.gms.region.size
+        assert big.frames.free_frames >= 100
+
+    def test_destroy_releases_domain_and_blocks_access(self, runtime):
+        system, monitor, rt = runtime
+        handle = rt.launch("app", text_pages=2, heap_pages=4)
+        pa = handle.space.pa_of(ENCLAVE_HEAP_VA)
+        rt.destroy(handle)
+        assert monitor.current_domain_id == HOST_DOMAIN_ID
+        assert not handle.alive
+        with pytest.raises(MonitorError):
+            rt.access(handle, ENCLAVE_HEAP_VA)
+
+    def test_two_enclaves_are_isolated(self, runtime):
+        system, monitor, rt = runtime
+        a = rt.launch("a", text_pages=2, heap_pages=4)
+        b = rt.launch("b", text_pages=2, heap_pages=4)
+        pa_a = a.space.pa_of(ENCLAVE_HEAP_VA)
+        # b is the current domain after its launch.
+        with pytest.raises(AccessFault):
+            system.checker.check(pa_a, AccessType.READ, S)
+
+    def test_launch_cost_scales_with_footprint(self, runtime):
+        _, _, rt = runtime
+        small = rt.launch("s", text_pages=2, heap_pages=4)
+        rt.destroy(small)
+        large = rt.launch("l", text_pages=16, heap_pages=128)
+        assert large.launch_cycles > small.launch_cycles

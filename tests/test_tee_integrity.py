@@ -1,0 +1,144 @@
+"""Tests for the Merkle-tree integrity substrate (Penglai Figure 7)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.params import rocket
+from repro.common.types import MIB, PAGE_SIZE, MemRegion
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.physical import PhysicalMemory
+from repro.tee.integrity import IntegrityError, MerkleTree, MountableMerkleTree
+
+BASE = 0x8000_0000
+
+
+@pytest.fixture
+def env():
+    memory = PhysicalMemory(64 * MIB, base=BASE)
+    hierarchy = MemoryHierarchy(rocket())
+    region = MemRegion(BASE + 16 * MIB, 2 * MIB)
+    return memory, hierarchy, region
+
+
+class TestMerkleTree:
+    def test_build_and_verify_clean(self, env):
+        memory, hierarchy, region = env
+        memory.write64(region.base + 0x100, 0xABCD)
+        tree = MerkleTree(memory, region, hierarchy)
+        tree.build()
+        assert tree.verify(region.base) > 0
+
+    def test_tamper_detected_on_leaf(self, env):
+        memory, hierarchy, region = env
+        tree = MerkleTree(memory, region, hierarchy)
+        tree.build()
+        memory.write64(region.base + 0x40, 0x6666)  # physical attack
+        with pytest.raises(IntegrityError):
+            tree.verify(region.base)
+
+    def test_other_pages_unaffected_by_tamper(self, env):
+        memory, hierarchy, region = env
+        tree = MerkleTree(memory, region, hierarchy)
+        tree.build()
+        memory.write64(region.base, 0x6666)
+        tree.verify(region.base + PAGE_SIZE)  # clean page still verifies
+
+    def test_update_legitimizes_write(self, env):
+        memory, hierarchy, region = env
+        tree = MerkleTree(memory, region, hierarchy)
+        tree.build()
+        memory.write64(region.base, 0x7777)
+        tree.update(region.base)
+        tree.verify(region.base)
+
+    def test_update_changes_root(self, env):
+        memory, hierarchy, region = env
+        tree = MerkleTree(memory, region, hierarchy)
+        root_before = tree.build()
+        memory.write64(region.base, 1)
+        tree.update(region.base)
+        assert tree.root != root_before
+
+    def test_depth_grows_with_region(self, env):
+        memory, hierarchy, _ = env
+        small = MerkleTree(memory, MemRegion(BASE + 16 * MIB, 8 * PAGE_SIZE))
+        large = MerkleTree(memory, MemRegion(BASE + 32 * MIB, 16 * MIB))
+        small.build()
+        large.build()
+        assert large.depth > small.depth
+
+    def test_verify_before_build_rejected(self, env):
+        memory, _, region = env
+        tree = MerkleTree(memory, region)
+        with pytest.raises(ConfigurationError):
+            tree.verify(region.base)
+
+    def test_outside_region_rejected(self, env):
+        memory, _, region = env
+        tree = MerkleTree(memory, region)
+        tree.build()
+        with pytest.raises(ConfigurationError):
+            tree.verify(BASE)
+
+    def test_bad_arity(self, env):
+        memory, _, region = env
+        with pytest.raises(ConfigurationError):
+            MerkleTree(memory, region, arity=3)
+
+
+class TestMountableMerkleTree:
+    def test_verify_across_subtrees(self, env):
+        memory, hierarchy, _ = env
+        region = MemRegion(BASE + 16 * MIB, 8 * MIB)
+        mmt = MountableMerkleTree(memory, region, hierarchy, mount_capacity=2)
+        for i in range(4):
+            mmt.verify(region.base + i * 2 * MIB)
+        assert len(mmt.mounted_subtrees) == 2  # capacity enforced
+
+    def test_mount_is_cached(self, env):
+        memory, hierarchy, _ = env
+        region = MemRegion(BASE + 16 * MIB, 4 * MIB)
+        mmt = MountableMerkleTree(memory, region, hierarchy)
+        first = mmt.verify(region.base)
+        second = mmt.verify(region.base)
+        assert second < first  # no mount cost the second time
+        assert mmt.stats["mount_hits"] >= 1
+
+    def test_tamper_detected_at_mount(self, env):
+        memory, hierarchy, _ = env
+        region = MemRegion(BASE + 16 * MIB, 4 * MIB)
+        mmt = MountableMerkleTree(memory, region, hierarchy, mount_capacity=1)
+        memory.write64(region.base + 2 * MIB, 0x1337)  # tamper an UNMOUNTED subtree
+        mmt.verify(region.base)  # mounts subtree 0, evicting nothing bad
+        with pytest.raises(IntegrityError):
+            mmt.verify(region.base + 2 * MIB)
+
+    def test_update_survives_unmount_remount(self, env):
+        memory, hierarchy, _ = env
+        region = MemRegion(BASE + 16 * MIB, 6 * MIB)
+        mmt = MountableMerkleTree(memory, region, hierarchy, mount_capacity=1)
+        # A legitimate write happens with the subtree mounted (the monitor's
+        # write path), then the tree is updated before any unmount.
+        mmt.verify(region.base)
+        memory.write64(region.base, 0xAAAA)
+        mmt.update(region.base)  # subtree 0 mounted, root updated
+        mmt.verify(region.base + 2 * MIB)  # evicts subtree 0
+        mmt.verify(region.base + 4 * MIB)
+        mmt.verify(region.base)  # remount must accept the updated contents
+
+    def test_resident_metadata_is_bounded(self, env):
+        memory, hierarchy, _ = env
+        region = MemRegion(BASE + 16 * MIB, 16 * MIB)
+        mmt = MountableMerkleTree(memory, region, hierarchy, mount_capacity=2)
+        for i in range(8):
+            mmt.verify(region.base + i * 2 * MIB)
+        two_mounted = mmt.resident_metadata_bytes()
+        full_tree = MerkleTree(memory, region)
+        full_tree.build()
+        full_bytes = sum(len(level) * 32 for level in full_tree.levels)
+        assert two_mounted < full_bytes
+
+    def test_bad_subtree_multiple(self, env):
+        memory, _, _ = env
+        with pytest.raises(ConfigurationError):
+            MountableMerkleTree(memory, MemRegion(BASE + 16 * MIB, 3 * MIB))

@@ -1,0 +1,102 @@
+"""Tests for inter-enclave shared regions and ePMP-sized register files."""
+
+import pytest
+
+from repro.common.errors import AccessFault, OutOfResources
+from repro.common.types import KIB, AccessType, Permission, PrivilegeMode
+from repro.soc.system import System
+from repro.tee.monitor import HOST_DOMAIN_ID, SecureMonitor
+
+S = PrivilegeMode.SUPERVISOR
+
+
+def make(scheme, pmp_entries=16, mem_mib=256):
+    system = System(machine="rocket", checker_kind=scheme, mem_mib=mem_mib, pmp_entries=pmp_entries)
+    return system, SecureMonitor(system)
+
+
+class TestSharedRegions:
+    @pytest.mark.parametrize("scheme", ["pmp", "pmpt", "hpmp"])
+    def test_members_can_access(self, scheme):
+        system, monitor = make(scheme)
+        d1 = monitor.create_domain("a")
+        d2 = monitor.create_domain("b")
+        gms, cycles = monitor.grant_shared_region([d1.domain_id, d2.domain_id], 64 * KIB)
+        assert cycles > 0
+        for member in (d1, d2):
+            monitor.switch_to(member.domain_id)
+            cost = system.checker.check(gms.region.base, AccessType.READ, S)
+            assert cost.perm.r
+
+    @pytest.mark.parametrize("scheme", ["pmpt", "hpmp"])
+    def test_non_members_blocked(self, scheme):
+        system, monitor = make(scheme)
+        d1 = monitor.create_domain("a")
+        d2 = monitor.create_domain("b")
+        outsider = monitor.create_domain("c")
+        gms, _ = monitor.grant_shared_region([d1.domain_id, d2.domain_id], 64 * KIB)
+        monitor.switch_to(outsider.domain_id)
+        with pytest.raises(AccessFault):
+            system.checker.check(gms.region.base, AccessType.READ, S)
+        monitor.switch_to(HOST_DOMAIN_ID)
+        with pytest.raises(AccessFault):
+            system.checker.check(gms.region.base, AccessType.READ, S)
+
+    def test_shared_permission_respected(self):
+        system, monitor = make("hpmp")
+        d1 = monitor.create_domain("a")
+        gms, _ = monitor.grant_shared_region([d1.domain_id], 64 * KIB, Permission(r=True))
+        monitor.switch_to(d1.domain_id)
+        system.checker.check(gms.region.base, AccessType.READ, S)
+        with pytest.raises(AccessFault):
+            system.checker.check(gms.region.base, AccessType.WRITE, S)
+
+    def test_empty_member_list_rejected(self):
+        _, monitor = make("hpmp")
+        from repro.common.errors import MonitorError
+
+        with pytest.raises(MonitorError):
+            monitor.grant_shared_region([], 64 * KIB)
+
+
+class TestEPMP:
+    """Paper §4.3: future 64-entry ePMP grows both pools."""
+
+    def test_pmp_scheme_capacity_scales(self):
+        _, monitor16 = make("pmp", pmp_entries=16)
+        _, monitor64 = make("pmp", pmp_entries=64)
+
+        def capacity(monitor):
+            count = 0
+            try:
+                for i in range(80):
+                    d = monitor.create_domain(f"e{i}")
+                    monitor.grant_region(d.domain_id, 64 * KIB)
+                    count += 1
+            except OutOfResources:
+                pass
+            return count
+
+        cap16, cap64 = capacity(monitor16), capacity(monitor64)
+        assert cap16 < 16 <= cap64
+        assert cap64 - cap16 >= 40
+
+    def test_hpmp_fast_pool_scales(self):
+        system, monitor = make("hpmp", pmp_entries=64)
+        domain = monitor.create_domain("big-app")
+        monitor.switch_to(domain.domain_id)
+        fast = 0
+        for i in range(40):
+            gms, _ = monitor.grant_region(domain.domain_id, 64 * KIB, label="fast")
+            cost = system.checker.check(gms.region.base, AccessType.READ, S)
+            if cost.refs == 0:
+                fast += 1
+        # 64 entries leave a much larger segment pool than the default 8.
+        assert fast > 20
+
+    def test_checks_still_work_at_64_entries(self):
+        system, monitor = make("hpmp", pmp_entries=64)
+        d = monitor.create_domain("e")
+        gms, _ = monitor.grant_region(d.domain_id, 64 * KIB)
+        monitor.switch_to(d.domain_id)
+        assert system.checker.check(gms.region.base, AccessType.READ, S).refs == 2

@@ -1,0 +1,121 @@
+"""Tests for the hypervisor and confidential VMs."""
+
+import pytest
+
+from repro.common.errors import AccessFault, MonitorError
+from repro.common.types import PAGE_SIZE, AccessType, PrivilegeMode
+from repro.soc.system import System
+from repro.tee.monitor import HOST_DOMAIN_ID, SecureMonitor
+from repro.virt.hypervisor import Hypervisor, _coalesce_frames
+from repro.virt.nested import GUEST_DRAM_BASE
+
+S = PrivilegeMode.SUPERVISOR
+GVA = 0x40_0000_0000
+
+
+def make(confidential=True, scheme="hpmp", hpmp_gpt=False):
+    system = System(machine="rocket", checker_kind=scheme, mem_mib=256)
+    monitor = SecureMonitor(system) if confidential else None
+    return system, monitor, Hypervisor(system, monitor, hpmp_gpt=hpmp_gpt)
+
+
+class TestCoalesce:
+    def test_contiguous_run(self):
+        frames = [0x1000, 0x2000, 0x3000]
+        assert _coalesce_frames(frames) == [(0x1000, 3 * PAGE_SIZE)]
+
+    def test_gaps_split_spans(self):
+        frames = [0x1000, 0x3000, 0x4000]
+        assert _coalesce_frames(frames) == [(0x1000, PAGE_SIZE), (0x3000, 2 * PAGE_SIZE)]
+
+    def test_empty(self):
+        assert _coalesce_frames([]) == []
+
+
+class TestPlainHypervisor:
+    def test_vm_lifecycle(self):
+        _, _, hv = make(confidential=False)
+        handle = hv.create_vm(guest_pages=64)
+        assert handle.domain_id is None
+        assert len(hv.vms) == 1
+        hv.destroy_vm(handle.vm_id)
+        assert hv.vms == []
+        with pytest.raises(MonitorError):
+            hv.enter(handle.vm_id)
+
+    def test_guest_access_through_hypervisor(self):
+        system, _, hv = make(confidential=False)
+        handle = hv.create_vm(guest_pages=64)
+        handle.vm.guest_map(GVA, GUEST_DRAM_BASE)
+        result = hv.guest_access(handle.vm_id, GVA)
+        assert result.refs >= 1
+
+    def test_multiple_vms_have_distinct_memory(self):
+        system, _, hv = make(confidential=False)
+        a = hv.create_vm(guest_pages=16)
+        b = hv.create_vm(guest_pages=16)
+        frames_a = set(a.vm.view.backing.values())
+        frames_b = set(b.vm.view.backing.values())
+        assert not frames_a & frames_b
+
+
+class TestConfidentialVMs:
+    def test_host_cannot_read_vm_memory(self):
+        system, monitor, hv = make(confidential=True)
+        handle = hv.create_vm(guest_pages=32)
+        hv.exit_to_host()
+        frame = next(iter(handle.vm.view.backing.values()))
+        with pytest.raises(AccessFault):
+            system.checker.check(frame, AccessType.READ, S)
+
+    def test_vm_can_access_its_own_memory(self):
+        system, monitor, hv = make(confidential=True)
+        handle = hv.create_vm(guest_pages=32)
+        hv.enter(handle.vm_id)
+        frame = next(iter(handle.vm.view.backing.values()))
+        system.checker.check(frame, AccessType.READ, S)
+
+    def test_vms_isolated_from_each_other(self):
+        system, monitor, hv = make(confidential=True)
+        a = hv.create_vm(guest_pages=16)
+        b = hv.create_vm(guest_pages=16)
+        frame_a = next(iter(a.vm.view.backing.values()))
+        hv.enter(b.vm_id)
+        with pytest.raises(AccessFault):
+            system.checker.check(frame_a, AccessType.READ, S)
+
+    def test_enter_charges_switch_cycles(self):
+        _, _, hv = make(confidential=True)
+        handle = hv.create_vm(guest_pages=16)
+        assert hv.enter(handle.vm_id) > 0
+        assert hv.exit_to_host() > 0
+
+    def test_destroy_returns_to_host_world(self):
+        _, monitor, hv = make(confidential=True)
+        handle = hv.create_vm(guest_pages=16)
+        hv.enter(handle.vm_id)
+        hv.destroy_vm(handle.vm_id)
+        assert monitor.current_domain_id == HOST_DOMAIN_ID
+
+    def test_guest_access_inside_confidential_vm(self):
+        system, _, hv = make(confidential=True)
+        handle = hv.create_vm(guest_pages=64)
+        handle.vm.guest_map(GVA, GUEST_DRAM_BASE)
+        result = hv.guest_access(handle.vm_id, GVA)
+        assert result.hpa in {p | (GVA & 0xFFF) for p in handle.vm.view.backing.values()} or result.hpa >= 0
+
+    def test_fragmented_backing_grants_many_spans(self):
+        system, monitor, hv = make(confidential=True)
+        handle = hv.create_vm(guest_pages=32, fragmented_backing=True)
+        domain = monitor.domain(handle.domain_id)
+        assert len(domain.gmss) > 1  # many spans: beyond any PMP entry budget
+
+
+class TestHPMPGPTMode:
+    def test_guest_pt_pages_land_in_fast_region(self):
+        system, _, hv = make(confidential=False, hpmp_gpt=True)
+        handle = hv.create_vm(guest_pages=32)
+        handle.vm.guest_map(GVA, GUEST_DRAM_BASE)
+        system.machine.cold_boot()
+        result = handle.vm.guest_access(GVA)
+        assert result.refs == 18  # the paper's HPMP-GPT count

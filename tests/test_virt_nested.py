@@ -1,0 +1,136 @@
+"""Tests for the virtualized (two-stage) translation path."""
+
+import pytest
+
+from repro.common.errors import GuestPageFault
+from repro.common.types import PAGE_SIZE, AccessType
+from repro.soc.system import System
+from repro.virt.nested import GUEST_DRAM_BASE, GuestMemoryView, VirtualMachine
+
+GVA = 0x40_0000_0000
+
+
+def build(kind="pmp", gpt=False, guest_pages=128, machine="rocket"):
+    system = System(machine=machine, checker_kind=kind, mem_mib=256)
+    vm = VirtualMachine(system, guest_pages=guest_pages, gpt_contiguous=gpt)
+    vm.guest_map_range(GVA - PAGE_SIZE, GUEST_DRAM_BASE + 8 * PAGE_SIZE, 2 * PAGE_SIZE)
+    return system, vm
+
+
+class TestGuestMemoryView:
+    def test_read_write_through_backing(self):
+        system = System(machine="rocket", checker_kind="pmp", mem_mib=128)
+        view = GuestMemoryView(system.memory)
+        frame = system.data_frames.alloc()
+        view.back_page(0x1000, frame)
+        view.write64(0x1008, 42)
+        assert view.read64(0x1008) == 42
+        assert system.memory.read64(frame + 8) == 42
+
+    def test_unbacked_page_faults(self):
+        system = System(machine="rocket", checker_kind="pmp", mem_mib=128)
+        view = GuestMemoryView(system.memory)
+        with pytest.raises(GuestPageFault):
+            view.read64(0x5000)
+
+
+class TestReferenceCounts:
+    """Paper Figure 8 / §6: 16 base refs; PMPT 48; HPMP 24; HPMP-GPT 18."""
+
+    @pytest.mark.parametrize(
+        "kind,gpt,expected_refs,expected_checker",
+        [
+            ("pmp", False, 16, 0),
+            ("pmpt", False, 48, 32),
+            ("hpmp", False, 24, 8),
+            ("hpmp", True, 18, 2),
+        ],
+    )
+    def test_cold_counts(self, kind, gpt, expected_refs, expected_checker):
+        system, vm = build(kind, gpt)
+        system.machine.cold_boot()
+        result = vm.guest_access(GVA)
+        assert result.refs == expected_refs
+        assert result.checker_refs == expected_checker
+
+    def test_combined_tlb_hit_single_ref(self):
+        system, vm = build("pmpt")
+        vm.guest_access(GVA)
+        result = vm.guest_access(GVA)
+        assert result.combined_tlb_hit
+        assert result.refs == 1
+
+
+class TestFences:
+    def test_hfence_vvma_keeps_g_stage(self):
+        system, vm = build("pmp")
+        system.machine.cold_boot()
+        vm.guest_access(GVA)
+        vm.hfence_vvma()
+        result = vm.guest_access(GVA)
+        # Only guest-PT reads + data: nested walks served by the G-TLB.
+        assert result.refs == 4
+
+    def test_hfence_gvma_flushes_everything(self):
+        system, vm = build("pmp")
+        system.machine.cold_boot()
+        vm.guest_access(GVA)
+        vm.hfence_gvma()
+        result = vm.guest_access(GVA)
+        assert result.refs == 16
+
+    def test_latency_order_after_fences(self):
+        system, vm = build("pmp")
+        system.machine.cold_boot()
+        cold = vm.guest_access(GVA).cycles
+        vm.hfence_vvma()
+        after_v = vm.guest_access(GVA).cycles
+        vm.hfence_gvma()
+        after_g = vm.guest_access(GVA).cycles
+        hit = vm.guest_access(GVA).cycles
+        assert cold > after_g > after_v > hit
+
+
+class TestGuestSemantics:
+    def test_data_round_trip(self):
+        """A guest store lands in the right host frame."""
+        system, vm = build("pmp")
+        gpa = GUEST_DRAM_BASE + 9 * PAGE_SIZE  # GVA maps to the range's 2nd page
+        vm.view.write64(gpa + 0x10, 0xABCD)
+        result = vm.guest_access(GVA + 0x10)
+        assert system.memory.read64(result.hpa) == 0xABCD
+
+    def test_unmapped_gva_faults(self):
+        system, vm = build("pmp")
+        from repro.common.errors import PageFault
+
+        with pytest.raises(PageFault):
+            vm.guest_access(GVA + 0x100000)
+
+    def test_gpt_contiguous_places_guest_pt_in_fast_region(self):
+        system, vm = build("hpmp", gpt=True)
+        for gpa_page, hpa_page in vm.view.backing.items():
+            if gpa_page >= 0x0800_0000:  # the guest PT area
+                assert system.pt_region.contains(hpa_page, PAGE_SIZE)
+
+    def test_npt_pages_follow_pt_placement(self):
+        system, vm = build("hpmp")
+        for page in vm.npt.pt_pages:
+            assert system.pt_region.contains(page, PAGE_SIZE)
+
+    def test_fragmented_backing_scatters_frames(self):
+        system = System(machine="rocket", checker_kind="pmp", mem_mib=256)
+        vm = VirtualMachine(system, guest_pages=64, fragmented_backing=True)
+        frames = [vm.view.backing[GUEST_DRAM_BASE + i * PAGE_SIZE] for i in range(64)]
+        deltas = {b - a for a, b in zip(frames, frames[1:])}
+        assert deltas != {PAGE_SIZE}
+
+
+class TestSchemeOrdering:
+    def test_cold_latency_ordering(self):
+        cycles = {}
+        for label, kind, gpt in (("pmpt", "pmpt", False), ("hpmp", "hpmp", False), ("hpmp-gpt", "hpmp", True), ("pmp", "pmp", False)):
+            system, vm = build(kind, gpt)
+            system.machine.cold_boot()
+            cycles[label] = vm.guest_access(GVA).cycles
+        assert cycles["pmp"] < cycles["hpmp-gpt"] < cycles["hpmp"] < cycles["pmpt"]

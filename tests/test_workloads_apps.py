@@ -1,0 +1,190 @@
+"""Tests for the application workload models: GAP, RV8, FunctionBench,
+the image chain, and Redis."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.workloads.functionbench import FUNCTIONS, ServerlessNode, run_function
+from repro.workloads.gap import CSRGraph, GAPWorkload, rmat_edges, run_kernel
+from repro.workloads.redis import COMMANDS, build_server, run_command
+from repro.workloads.rv8 import PROFILES, PROGRAMS, run_program
+from repro.workloads.serverless_chain import run_chain
+from repro.soc.system import System
+
+
+class TestGraph:
+    def test_rmat_is_deterministic(self):
+        assert rmat_edges(6, 4, seed=3) == rmat_edges(6, 4, seed=3)
+
+    def test_rmat_no_self_loops(self):
+        assert all(u != v for u, v in rmat_edges(6, 4, seed=1))
+
+    def test_csr_degrees_sum_to_edges(self):
+        edges = rmat_edges(6, 4, seed=1)
+        graph = CSRGraph(64, edges)
+        assert sum(graph.degree(v) for v in range(64)) == graph.m
+
+    def test_bfs_computes_valid_depths(self):
+        system = System(machine="rocket", checker_kind="pmp", mem_mib=128)
+        workload = GAPWorkload(system, scale=6, degree=4, seed=2)
+        depth = workload.bfs(0)
+        graph = workload.graph
+        assert depth[0] == 0
+        # BFS property: neighbors differ by at most one level.
+        for v, d in depth.items():
+            start, end = graph.offsets[v], graph.offsets[v + 1]
+            for w in graph.neighbors[start:end]:
+                if w in depth:
+                    assert abs(depth[w] - d) <= 1
+
+    def test_pagerank_scores_sum_to_one(self):
+        system = System(machine="rocket", checker_kind="pmp", mem_mib=128)
+        workload = GAPWorkload(system, scale=5, degree=4, seed=2)
+        scores = workload.pr(iterations=2)
+        assert abs(sum(scores) - 1.0) < 1e-6
+
+    def test_cc_labels_connected_vertices_equally(self):
+        system = System(machine="rocket", checker_kind="pmp", mem_mib=128)
+        workload = GAPWorkload(system, scale=5, degree=4, seed=2)
+        comp = workload.cc()
+        graph = workload.graph
+        for v in range(graph.n):
+            for w in graph.neighbors[graph.offsets[v]:graph.offsets[v + 1]]:
+                assert comp[v] == comp[w]
+
+    def test_sssp_distances_respect_edges(self):
+        system = System(machine="rocket", checker_kind="pmp", mem_mib=128)
+        workload = GAPWorkload(system, scale=5, degree=4, seed=2)
+        dist = workload.sssp(0)
+        assert dist[0] == 0
+        assert all(d >= 0 for d in dist.values())
+
+    def test_tc_counts_triangles_symmetrically(self):
+        system = System(machine="rocket", checker_kind="pmp", mem_mib=128)
+        workload = GAPWorkload(system, scale=5, degree=6, seed=2)
+        count = workload.tc()
+        assert count >= 0
+
+    def test_run_kernel_accumulates_cycles(self):
+        result = run_kernel("bfs", "pmp", scale=6)
+        assert result.cycles > 0 and result.accesses > 0
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(WorkloadError):
+            run_kernel("dijkstra", "pmp", scale=5)
+
+
+class TestRV8:
+    def test_all_programs_have_profiles(self):
+        assert set(PROGRAMS) == set(PROFILES)
+
+    def test_run_program(self):
+        result = run_program("aes", "pmp", scale=0.5)
+        assert result.cycles > 0
+        assert result.seconds(1000) > 0
+
+    def test_qsort_slower_than_dhrystone(self):
+        qsort = run_program("qsort", "pmp", scale=0.5)
+        dhry = run_program("dhrystone", "pmp", scale=0.5)
+        # qsort's 4 MiB random traffic must out-cost the tiny dhrystone loop
+        # per access.
+        assert qsort.cycles / qsort.accesses > dhry.cycles / dhry.accesses
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(WorkloadError):
+            run_program("coremark", "pmp")
+
+    def test_overhead_ordering(self):
+        cycles = {kind: run_program("qsort", kind, scale=0.5).cycles for kind in ("pmp", "pmpt", "hpmp")}
+        assert cycles["pmp"] <= cycles["hpmp"] <= cycles["pmpt"] * 1.001
+
+
+class TestFunctionBench:
+    def test_invoke_secure_and_host(self):
+        node = ServerlessNode(machine="rocket", checker_kind="pmp", mem_mib=256)
+        secure = node.invoke("matmul", secure=True)
+        host = node.invoke("matmul", secure=False)
+        assert secure.total_cycles > 0 and host.total_cycles > 0
+        assert secure.launch_cycles > 0
+
+    def test_unknown_function_rejected(self):
+        node = ServerlessNode(machine="rocket", checker_kind="pmp", mem_mib=256)
+        with pytest.raises(WorkloadError):
+            node.invoke("whoami")
+
+    def test_cold_start_is_significant_for_small_function(self):
+        result = run_function("matmul", "pmp", machine="rocket")
+        assert result.launch_cycles > 0.05 * result.total_cycles
+
+    def test_overhead_ordering_per_function(self):
+        for function in ("matmul", "image"):
+            cycles = {k: run_function(function, k, machine="rocket").total_cycles for k in ("pmp", "pmpt", "hpmp")}
+            assert cycles["pmp"] <= cycles["hpmp"] <= cycles["pmpt"]
+
+    def test_enclaves_are_torn_down(self):
+        node = ServerlessNode(machine="rocket", checker_kind="hpmp", mem_mib=256)
+        for _ in range(3):
+            node.invoke("matmul")
+        assert len(node.monitor.domains) == 1  # only the host remains
+
+
+class TestImageChain:
+    def test_latency_grows_with_image_size(self):
+        small = run_chain("pmp", 32, machine="rocket").total_cycles
+        large = run_chain("pmp", 128, machine="rocket").total_cycles
+        assert large > small
+
+    def test_four_stages(self):
+        result = run_chain("pmp", 32, machine="rocket")
+        assert len(result.per_stage_cycles) == 4
+        assert sum(result.per_stage_cycles) == result.total_cycles
+
+    def test_overhead_shrinks_with_size(self):
+        def overhead(size):
+            pmp = run_chain("pmp", size, machine="rocket").total_cycles
+            pmpt = run_chain("pmpt", size, machine="rocket").total_cycles
+            return pmpt / pmp
+
+        assert overhead(32) > overhead(256)
+
+
+class TestRedis:
+    @pytest.fixture(scope="class")
+    def server(self):
+        return build_server("hpmp", machine="rocket", num_keys=2048)
+
+    def test_all_commands_execute(self, server):
+        _, _, redis, client = server
+        for command in COMMANDS:
+            assert redis.execute(command, client) > 0
+
+    def test_lrange_longer_costs_more(self, server):
+        _, _, redis, client = server
+        c100 = run_command("LRANGE_100", "hpmp", requests=5, warmup=2, server=server)
+        c600 = run_command("LRANGE_600", "hpmp", requests=5, warmup=2, server=server)
+        assert c600.mean_cycles > c100.mean_cycles
+
+    def test_store_is_consistent(self, server):
+        _, _, redis, client = server
+        redis.execute("SET", client)
+        assert len(redis.store) >= 2048
+
+    def test_unknown_command_rejected(self, server):
+        _, _, redis, client = server
+        with pytest.raises(WorkloadError):
+            redis.execute("FLUSHALL", client)
+
+    def test_rps_conversion(self):
+        result = run_command("GET", "pmp", machine="rocket", requests=5, warmup=1, num_keys=1024)
+        assert result.rps(1000) == pytest.approx(1e9 / result.mean_cycles)
+
+    def test_enclave_isolation_active(self):
+        """While the store runs, its memory is not host-accessible."""
+        from repro.common.errors import AccessFault
+        from repro.common.types import AccessType, PrivilegeMode
+
+        system, kernel, redis, client = build_server("hpmp", machine="rocket", num_keys=1024)
+        store_pa = redis.enclave.gms.region.base
+        # We are in the host domain between requests.
+        with pytest.raises(AccessFault):
+            system.checker.check(store_pa, AccessType.READ, PrivilegeMode.SUPERVISOR)

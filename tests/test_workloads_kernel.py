@@ -1,0 +1,103 @@
+"""Tests for the OS-kernel model and LMBench syscall models."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.common.types import PAGE_SIZE, AccessType
+from repro.soc.system import System
+from repro.workloads.kernel import DIRECT_MAP_VA, USER_HEAP_VA, KernelModel
+from repro.workloads.lmbench import SYSCALLS, run_syscall, run_table3
+
+
+@pytest.fixture
+def kernel():
+    system = System(machine="rocket", checker_kind="pmp", mem_mib=256)
+    return KernelModel(system, heap_pages=128, seed=1)
+
+
+class TestKernelModel:
+    def test_direct_map_round_trip(self, kernel):
+        frame = kernel.system.data_frames.alloc()
+        va = kernel.direct_va(frame)
+        assert kernel.kspace.page_table.translate(va) == frame
+
+    def test_direct_map_uses_huge_pages(self, kernel):
+        walk = kernel.kspace.page_table.walk(DIRECT_MAP_VA)
+        assert walk.page_size == 2 * 1024 * 1024
+
+    def test_kfetch_charges_cycles(self, kernel):
+        assert kernel.kfetch(160) > 0
+
+    def test_ktouch_structs_deterministic_with_seed(self):
+        totals = []
+        for _ in range(2):
+            system = System(machine="rocket", checker_kind="pmp", mem_mib=256)
+            k = KernelModel(system, heap_pages=128, seed=7)
+            totals.append(k.ktouch_structs(16))
+        assert totals[0] == totals[1]
+
+    def test_spawn_creates_resident_text_and_stack(self, kernel):
+        proc, cycles = kernel.spawn(text_pages=4, heap_pages=8, stack_pages=2)
+        assert cycles > 0
+        assert sum(1 for r in proc.resident.values() if r) == 6  # text + stack only
+
+    def test_spawn_populate_maps_heap(self, kernel):
+        proc, _ = kernel.spawn(text_pages=4, heap_pages=8, stack_pages=2, populate=True)
+        assert len(proc.resident) == 14
+
+    def test_demand_fault_then_access(self, kernel):
+        proc, _ = kernel.spawn(text_pages=2, heap_pages=8, stack_pages=1)
+        va = USER_HEAP_VA + 3 * PAGE_SIZE
+        cycles = kernel.user_access(proc, va)
+        assert proc.resident[va]
+        # Second access: no fault, cheaper.
+        assert kernel.user_access(proc, va) < cycles
+
+    def test_fault_on_resident_page_rejected(self, kernel):
+        proc, _ = kernel.spawn(text_pages=2, heap_pages=4, stack_pages=1, populate=True)
+        with pytest.raises(WorkloadError):
+            kernel.handle_fault(proc, USER_HEAP_VA)
+
+    def test_fork_shares_frames_copy_on_write(self, kernel):
+        parent, _ = kernel.spawn(text_pages=2, heap_pages=4, stack_pages=1, populate=True)
+        child, cycles = kernel.fork(parent)
+        assert cycles > 0
+        assert child.resident.keys() == parent.resident.keys()
+        for va in parent.resident:
+            assert child.space.pa_of(va) == parent.space.pa_of(va)
+
+    def test_exit_after_fork_no_double_free(self, kernel):
+        parent, _ = kernel.spawn(text_pages=2, heap_pages=4, stack_pages=1, populate=True)
+        child, _ = kernel.fork(parent)
+        kernel.exit_process(child)
+        kernel.exit_process(parent)  # must not raise on shared frames
+
+    def test_copy_to_user(self, kernel):
+        proc, _ = kernel.spawn(text_pages=2, heap_pages=4, stack_pages=1, populate=True)
+        assert kernel.copy_to_user(proc, USER_HEAP_VA, 512) > 0
+
+
+class TestLMBench:
+    def test_all_syscalls_run(self):
+        rows = run_table3(machine="rocket", iterations=1, kernel_heap_pages=512)
+        assert {r["syscall"] for r in rows} == set(SYSCALLS)
+        for row in rows:
+            assert all(float(row[k]) > 0 for k in ("pmp", "pmpt", "hpmp"))
+
+    def test_null_is_cheapest(self):
+        rows = run_table3(machine="rocket", iterations=2, syscalls=("null", "stat", "fork+exit"), kernel_heap_pages=512)
+        by = {r["syscall"]: float(r["pmp"]) for r in rows}
+        assert by["null"] < by["stat"] < by["fork+exit"]
+
+    def test_pmpt_costs_more_than_pmp_overall(self):
+        rows = run_table3(
+            machine="rocket", iterations=3, syscalls=("stat", "open/close"), kernel_heap_pages=8192
+        )
+        total_pmp = sum(float(r["pmp"]) for r in rows)
+        total_pmpt = sum(float(r["pmpt"]) for r in rows)
+        assert total_pmpt > total_pmp
+
+    def test_single_syscall_api(self):
+        result = run_syscall("read", "pmp", machine="rocket", iterations=2, kernel_heap_pages=512, mem_mib=256)
+        assert result.syscall == "read"
+        assert result.mean_cycles > 0

@@ -1,0 +1,105 @@
+"""Tests for the latency and fragmentation microbenchmarks."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.common.types import AccessType
+from repro.soc.system import System
+from repro.workloads.microbench import (
+    TEST_CASES,
+    latency_sweep,
+    measure_latency,
+    run_fragmentation,
+)
+
+
+class TestLatencyCases:
+    def test_cases_monotonically_cheaper(self):
+        """TC1 >= TC2 >= TC3 >= TC4 for every scheme (states get warmer)."""
+        sweep = latency_sweep("rocket")
+        for kind, cases in sweep.items():
+            values = [cases[c].cycles for c in TEST_CASES]
+            assert values == sorted(values, reverse=True), (kind, values)
+
+    def test_tc4_is_pure_cache_hit(self):
+        point = measure_latency(System(machine="rocket", checker_kind="pmpt", mem_mib=128), "TC4")
+        assert point.total_refs == 1
+        assert point.cycles <= 4
+
+    def test_tc1_reference_counts(self):
+        for kind, refs in (("pmp", 4), ("pmpt", 12), ("hpmp", 6)):
+            point = measure_latency(System(machine="rocket", checker_kind=kind, mem_mib=128), "TC1")
+            assert point.total_refs == refs
+
+    def test_tc3_walks_single_level(self):
+        point = measure_latency(System(machine="rocket", checker_kind="pmp", mem_mib=128), "TC3")
+        assert point.total_refs == 2  # leaf PTE + data
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(WorkloadError):
+            measure_latency(System(machine="rocket", mem_mib=128), "TC9")
+
+    def test_store_and_load_same_refs(self):
+        system = System(machine="rocket", checker_kind="pmpt", mem_mib=128)
+        ld = measure_latency(system, "TC1", AccessType.READ)
+        system2 = System(machine="rocket", checker_kind="pmpt", mem_mib=128)
+        sd = measure_latency(system2, "TC1", AccessType.WRITE)
+        assert ld.total_refs == sd.total_refs
+
+    def test_boom_store_gap_exceeds_load_gap(self):
+        """The OoO core hides load-walk latency but not store checks."""
+        gaps = {}
+        for access in (AccessType.READ, AccessType.WRITE):
+            pmpt = measure_latency(System(machine="boom", checker_kind="pmpt", mem_mib=128), "TC1", access)
+            pmp = measure_latency(System(machine="boom", checker_kind="pmp", mem_mib=128), "TC1", access)
+            gaps[access] = pmpt.cycles / pmp.cycles
+        assert gaps[AccessType.WRITE] >= gaps[AccessType.READ]
+
+
+class TestFragmentation:
+    def test_fragmented_va_costs_more(self):
+        contiguous = run_fragmentation("pmp", "Contiguous-VA", False, num_pages=24)
+        fragmented = run_fragmentation("pmp", "Fragmented-VA", False, num_pages=24)
+        assert fragmented.mean_cycles > contiguous.mean_cycles
+
+    def test_fragmented_pa_hurts_table_schemes_most(self):
+        pmpt_contig = run_fragmentation("pmpt", "Fragmented-VA", False, num_pages=24)
+        pmpt_frag = run_fragmentation("pmpt", "Fragmented-VA", True, num_pages=24)
+        pmp_contig = run_fragmentation("pmp", "Fragmented-VA", False, num_pages=24)
+        pmp_frag = run_fragmentation("pmp", "Fragmented-VA", True, num_pages=24)
+        pmpt_delta = pmpt_frag.mean_cycles - pmpt_contig.mean_cycles
+        pmp_delta = pmp_frag.mean_cycles - pmp_contig.mean_cycles
+        assert pmpt_delta > pmp_delta
+
+    def test_hpmp_beats_pmpt_in_worst_quadrant(self):
+        hpmp = run_fragmentation("hpmp", "Fragmented-VA", True, num_pages=24)
+        pmpt = run_fragmentation("pmpt", "Fragmented-VA", True, num_pages=24)
+        assert hpmp.mean_cycles < pmpt.mean_cycles
+
+    def test_passes_with_flush_rewalk(self):
+        once = run_fragmentation("pmp", "Contiguous-VA", False, num_pages=16, passes=1)
+        multi = run_fragmentation(
+            "pmp", "Contiguous-VA", False, num_pages=16, passes=3, flush_tlb_between_passes=True
+        )
+        no_flush = run_fragmentation("pmp", "Contiguous-VA", False, num_pages=16, passes=3)
+        # Without flushes, later passes are TLB hits -> cheaper mean.
+        assert no_flush.mean_cycles < multi.mean_cycles <= once.mean_cycles
+
+    def test_pmptw_cache_helps_on_revisits(self):
+        plain = run_fragmentation(
+            "pmpt", "Fragmented-VA", False, num_pages=24, passes=4, flush_tlb_between_passes=True
+        )
+        cached = run_fragmentation(
+            "pmpt",
+            "Fragmented-VA",
+            False,
+            num_pages=24,
+            passes=4,
+            flush_tlb_between_passes=True,
+            pmptw_cache_enabled=True,
+        )
+        assert cached.mean_cycles <= plain.mean_cycles
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(WorkloadError):
+            run_fragmentation("pmp", "Zigzag-VA", False)
