@@ -27,6 +27,14 @@ from .common import (
     machine_params,
     rocket,
 )
+from .engine import (
+    EngineHook,
+    HistogramHook,
+    MetricsSink,
+    RecordingHook,
+    RefKind,
+    ReferenceEngine,
+)
 from .isolation import (
     CHECKER_KINDS,
     HPMPChecker,
@@ -46,11 +54,14 @@ __all__ = [
     "AccessType",
     "AddressSpace",
     "CHECKER_KINDS",
+    "EngineHook",
     "HPMPChecker",
     "HPMPRegisterFile",
+    "HistogramHook",
     "Machine",
     "MachineParams",
     "MemRegion",
+    "MetricsSink",
     "PMPChecker",
     "PMPEntry",
     "PMPRegisterFile",
@@ -58,6 +69,9 @@ __all__ = [
     "PageFault",
     "Permission",
     "PrivilegeMode",
+    "RecordingHook",
+    "RefKind",
+    "ReferenceEngine",
     "System",
     "boom",
     "machine_params",

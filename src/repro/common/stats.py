@@ -2,29 +2,159 @@
 
 Components own a :class:`StatGroup` and bump named counters; experiments read
 them to report hit rates and reference counts.  Counters are plain ints so
-the hot path stays cheap.
+the hot path stays cheap.  A group can additionally own named
+:class:`Histogram` instances (power-of-two bucketed) for latency / reference
+distributions — these are only touched by the observability layer, never by
+the timed hot path, and both counters and histograms export to JSON.
 """
 
 from __future__ import annotations
 
+import json
 from collections import Counter
-from typing import Dict, Iterator, Mapping
+from typing import Dict, Iterator, List, Mapping, Optional, Union
+
+
+class Histogram:
+    """A power-of-two bucketed histogram of non-negative integer samples.
+
+    Bucket *i* holds samples whose ``bit_length()`` is *i*: bucket 0 is the
+    value 0, bucket 1 is {1}, bucket 2 is {2, 3}, bucket 3 is {4..7} and so
+    on — compact, allocation-free and wide enough for cycle latencies.
+
+    >>> h = Histogram("lat")
+    >>> for v in (0, 1, 2, 3, 300):
+    ...     h.observe(v)
+    >>> h.count, h.min, h.max
+    (5, 0, 300)
+    >>> h.buckets()["2-3"]
+    2
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_buckets")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+        self._buckets: List[int] = []
+
+    def observe(self, value: int, count: int = 1) -> None:
+        """Record *value* (``count`` times).  Negative values are clamped to 0."""
+        if value < 0:
+            value = 0
+        index = value.bit_length()
+        buckets = self._buckets
+        if index >= len(buckets):
+            buckets.extend([0] * (index + 1 - len(buckets)))
+        buckets[index] += count
+        self.count += count
+        self.total += value * count
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @staticmethod
+    def _bucket_label(index: int) -> str:
+        if index <= 1:
+            return str(index)
+        low, high = 1 << (index - 1), (1 << index) - 1
+        return f"{low}-{high}"
+
+    def buckets(self) -> Dict[str, int]:
+        """Non-empty buckets keyed by their value-range label."""
+        return {
+            self._bucket_label(i): n for i, n in enumerate(self._buckets) if n
+        }
+
+    def percentile(self, p: float) -> Optional[int]:
+        """Upper bound of the bucket holding the *p*-th percentile sample.
+
+        Returns None on an empty histogram.  ``p`` is in [0, 100].
+        """
+        if not self.count:
+            return None
+        rank = max(1, int(round(p / 100.0 * self.count)))
+        seen = 0
+        for index, n in enumerate(self._buckets):
+            seen += n
+            if seen >= rank:
+                return 0 if index == 0 else (1 << index) - 1
+        return (1 << len(self._buckets)) - 1
+
+    def merge(self, other: Union["Histogram", Mapping[str, object]]) -> None:
+        """Fold another histogram (or its :meth:`snapshot`) into this one."""
+        if isinstance(other, Histogram):
+            raw = other._buckets
+            counts = {i: n for i, n in enumerate(raw) if n}
+            total, count = other.total, other.count
+            lo, hi = other.min, other.max
+        else:
+            counts = {int(k): int(v) for k, v in dict(other.get("raw", {})).items()}  # type: ignore[union-attr]
+            total, count = int(other["total"]), int(other["count"])  # type: ignore[index]
+            lo = other.get("min")  # type: ignore[union-attr]
+            hi = other.get("max")  # type: ignore[union-attr]
+        for index, n in counts.items():
+            if index >= len(self._buckets):
+                self._buckets.extend([0] * (index + 1 - len(self._buckets)))
+            self._buckets[index] += n
+        self.count += count
+        self.total += total
+        if lo is not None and (self.min is None or lo < self.min):
+            self.min = int(lo)
+        if hi is not None and (self.max is None or hi > self.max):
+            self.max = int(hi)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-safe dict: summary stats, labelled buckets, raw indices."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "buckets": self.buckets(),
+            "raw": {str(i): n for i, n in enumerate(self._buckets) if n},
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+        self._buckets = []
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}: n={self.count}, mean={self.mean:.1f})"
 
 
 class StatGroup:
-    """A named group of monotonically increasing counters.
+    """A named group of monotonically increasing counters (plus histograms).
 
     >>> s = StatGroup("tlb")
     >>> s.bump("hit"); s.bump("miss", 2)
     >>> s["hit"], s["miss"]
     (1, 2)
-    >>> s.ratio("hit", "miss")
-    0.3333333333333333
+    >>> round(s.ratio("hit", "miss"), 4)  # hit / (hit + miss) = 1 / 3
+    0.3333
     """
 
     def __init__(self, name: str):
         self.name = name
         self._counters: Counter = Counter()
+        self._histograms: Dict[str, Histogram] = {}
 
     def bump(self, key: str, amount: int = 1) -> None:
         """Increase counter *key* by *amount*."""
@@ -44,9 +174,30 @@ class StatGroup:
             return 0.0
         return num / total
 
+    # -- histograms ----------------------------------------------------------
+
+    def histogram(self, key: str) -> Histogram:
+        """The named histogram, created on first use."""
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = self._histograms[key] = Histogram(key)
+        return hist
+
+    def observe(self, key: str, value: int, count: int = 1) -> None:
+        """Record *value* into the named histogram."""
+        self.histogram(key).observe(value, count)
+
+    def histograms(self) -> Dict[str, Histogram]:
+        """All histograms this group owns (live objects, not copies)."""
+        return dict(self._histograms)
+
+    # -- lifecycle -----------------------------------------------------------
+
     def reset(self) -> None:
-        """Zero every counter."""
+        """Zero every counter and histogram."""
         self._counters.clear()
+        for hist in self._histograms.values():
+            hist.reset()
 
     def snapshot(self) -> Dict[str, int]:
         """Return a plain-dict copy of the counters."""
@@ -56,6 +207,15 @@ class StatGroup:
         """Add another snapshot's counters into this group."""
         for key, value in other.items():
             self._counters[key] += value
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """JSON export of counters and histogram snapshots."""
+        payload = {
+            "name": self.name,
+            "counters": dict(self._counters),
+            "histograms": {k: h.snapshot() for k, h in self._histograms.items()},
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
 
     def __repr__(self) -> str:
         body = ", ".join(f"{k}={v}" for k, v in sorted(self._counters.items()))

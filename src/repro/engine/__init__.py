@@ -1,0 +1,23 @@
+"""repro.engine — the unified timed memory-reference pipeline.
+
+* :class:`ReferenceEngine` / :class:`Account` — check → charge → account
+  stages shared by the native, traced and virtualized access paths.
+* :class:`EngineHook` and friends — pluggable observability over the
+  reference stream (zero-cost no-op default).
+* :class:`MetricsSink` — machine-readable per-figure metrics export.
+"""
+
+from .core import Account, ReferenceEngine
+from .hooks import EngineHook, HistogramHook, RecordingHook, RefKind, ReferenceEvent
+from .metrics import MetricsSink
+
+__all__ = [
+    "Account",
+    "EngineHook",
+    "HistogramHook",
+    "MetricsSink",
+    "RecordingHook",
+    "RefKind",
+    "ReferenceEngine",
+    "ReferenceEvent",
+]

@@ -1,0 +1,223 @@
+"""The reference engine: one timed memory-reference path for everything.
+
+The paper's argument is an accounting of *who issues which memory
+references* on a TLB miss (4 → 12 → 6 on Sv39; 16 → 48 → 24 → 18
+virtualized).  :class:`ReferenceEngine` owns that accounting as a
+composable check → charge → account pipeline over translation *steps*:
+
+* **check** — validate the referenced physical address with the attached
+  isolation checker (this is where a table-mode checker adds its extra
+  dimension of page walks; the checker charges its own permission-table
+  references through the shared hierarchy);
+* **charge** — issue the reference itself through the cache hierarchy and
+  collect its latency;
+* **account** — accumulate cycles and per-kind reference counts into an
+  :class:`Account`, and publish events to any installed
+  :class:`~repro.engine.hooks.EngineHook`.
+
+:class:`~repro.soc.machine.Machine` (Sv39/48/57 walker),
+:class:`~repro.virt.nested.VirtualMachine` (Sv39x4 nested walker) and the
+trace runner are thin compositions of these stages: they yield steps, the
+engine prices them, one implementation of the logic instead of three.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..common.types import AccessType, PrivilegeMode
+from ..isolation.checker import CheckCost, IsolationChecker
+from ..mem.hierarchy import MemoryHierarchy
+from .hooks import EngineHook, RefKind
+
+_READ = AccessType.READ
+_SUPERVISOR = PrivilegeMode.SUPERVISOR
+
+
+class Account:
+    """Mutable per-access accumulator for the engine's account stage.
+
+    ``walk_cycles`` collects translation latency (PT/NPT/guest-PT reads,
+    checker work, TLB-structure probes charged by callers) so cores can
+    apply out-of-order overlap to it separately from ``data_cycles``.
+    """
+
+    __slots__ = ("walk_cycles", "data_cycles", "table_refs", "checker_refs", "data_refs")
+
+    def __init__(self) -> None:
+        self.walk_cycles = 0
+        self.data_cycles = 0
+        self.table_refs = 0
+        self.checker_refs = 0
+        self.data_refs = 0
+
+    @property
+    def total_refs(self) -> int:
+        return self.table_refs + self.checker_refs + self.data_refs
+
+    @property
+    def cycles(self) -> int:
+        return self.walk_cycles + self.data_cycles
+
+    def __repr__(self) -> str:  # debug aid
+        return (
+            f"Account(walk={self.walk_cycles}, data={self.data_cycles}, "
+            f"table_refs={self.table_refs}, checker_refs={self.checker_refs}, "
+            f"data_refs={self.data_refs})"
+        )
+
+
+class ReferenceEngine:
+    """Applies check → charge → account uniformly to translation steps.
+
+    One engine exists per :class:`~repro.soc.machine.Machine`; the
+    virtualized path shares it (same checker, same hierarchy), so every
+    timed reference in the system flows through this object.
+
+    Hooks installed with :meth:`install_hook` observe the reference
+    stream.  The no-hook default is zero-cost: every emission site guards
+    on the (empty-tuple) hook list before doing any work, and hooks can
+    never alter timing — they observe after state is updated.
+    """
+
+    __slots__ = ("hierarchy", "checker", "_hooks")
+
+    def __init__(self, hierarchy: MemoryHierarchy, checker: IsolationChecker):
+        self.hierarchy = hierarchy
+        self.checker = checker
+        self._hooks: Tuple[EngineHook, ...] = ()
+
+    # -- observability ------------------------------------------------------
+
+    @property
+    def has_hooks(self) -> bool:
+        return bool(self._hooks)
+
+    @property
+    def hooks(self) -> Tuple[EngineHook, ...]:
+        return self._hooks
+
+    def install_hook(self, hook: EngineHook) -> EngineHook:
+        """Install an observer; returns it (handy for chaining)."""
+        if hook not in self._hooks:
+            self._hooks = self._hooks + (hook,)
+        return hook
+
+    def remove_hook(self, hook: EngineHook) -> None:
+        """Remove a previously installed observer (no-op if absent)."""
+        self._hooks = tuple(h for h in self._hooks if h is not hook)
+
+    # -- the pipeline stages -------------------------------------------------
+
+    def begin(self) -> Account:
+        """Open a fresh per-access account."""
+        return Account()
+
+    def step_ref(
+        self,
+        acct: Account,
+        paddr: int,
+        kind: RefKind = RefKind.PT,
+        priv: PrivilegeMode = _SUPERVISOR,
+    ) -> int:
+        """Price one translation-structure reference (a walker step).
+
+        check → charge → account: the checker validates the table page
+        (possibly walking its own permission table), the reference is
+        issued through the hierarchy, and cycles/refs land in *acct*.
+        Returns the cycles charged.
+        """
+        hooks = self._hooks
+        if hooks:
+            try:
+                cost = self.checker.check(paddr, _READ, priv)
+            except BaseException as exc:
+                for hook in hooks:
+                    hook.on_fault(exc)
+                raise
+        else:
+            cost = self.checker.check(paddr, _READ, priv)
+        charged = self.hierarchy.access(paddr)
+        acct.walk_cycles += cost.cycles + charged
+        acct.checker_refs += cost.refs
+        acct.table_refs += 1
+        if hooks:
+            self._emit_check(hooks, paddr, cost)
+            for hook in hooks:
+                hook.on_reference(kind, paddr, charged)
+        return cost.cycles + charged
+
+    def leaf_check(
+        self,
+        acct: Account,
+        paddr: int,
+        access: AccessType,
+        priv: PrivilegeMode = _SUPERVISOR,
+    ) -> CheckCost:
+        """Price the data-page permission check (fill time / non-inlined hit).
+
+        Only the check runs here — the data reference itself is charged by
+        :meth:`data_ref` so TLB fill can happen between them, exactly as
+        the hardware orders it.
+        """
+        hooks = self._hooks
+        if hooks:
+            try:
+                cost = self.checker.check(paddr, access, priv)
+            except BaseException as exc:
+                for hook in hooks:
+                    hook.on_fault(exc)
+                raise
+        else:
+            cost = self.checker.check(paddr, access, priv)
+        acct.walk_cycles += cost.cycles
+        acct.checker_refs += cost.refs
+        if hooks:
+            self._emit_check(hooks, paddr, cost)
+        return cost
+
+    def data_ref(self, acct: Account, paddr: int, instruction: bool = False) -> int:
+        """Charge the data reference itself; returns the cycles charged."""
+        charged = self.hierarchy.access(paddr, instruction=instruction)
+        acct.data_cycles += charged
+        acct.data_refs += 1
+        hooks = self._hooks
+        if hooks:
+            for hook in hooks:
+                hook.on_reference(RefKind.DATA, paddr, charged)
+        return charged
+
+    # -- event publication ---------------------------------------------------
+
+    @staticmethod
+    def _emit_check(hooks: Tuple[EngineHook, ...], paddr: int, cost: CheckCost) -> None:
+        """Emit one CHECKER event per permission-table reference.
+
+        The first event carries the whole check's latency (the checker
+        reports an aggregate cost, not per-pmpte latencies) so summing
+        event cycles stays meaningful.
+        """
+        cycles = cost.cycles
+        for _ in range(cost.refs):
+            for hook in hooks:
+                hook.on_reference(RefKind.CHECKER, paddr, cycles)
+            cycles = 0
+
+    def access_done(self, va: int, access: AccessType, cycles: int, tlb_hit: bool, refs: int) -> None:
+        """Publish a completed access (callers guard on :attr:`has_hooks`)."""
+        for hook in self._hooks:
+            hook.on_access(va, access, cycles, tlb_hit, refs)
+
+    def tlb_filled(self, entry, which: str = "dtlb") -> None:
+        """Publish a TLB fill (callers guard on :attr:`has_hooks`)."""
+        for hook in self._hooks:
+            hook.on_tlb_fill(entry, which)
+
+    def fault(self, exc: BaseException) -> BaseException:
+        """Publish a fault and hand the exception back to be raised.
+
+        Usage: ``raise engine.fault(PageFault(...))``.
+        """
+        for hook in self._hooks:
+            hook.on_fault(exc)
+        return exc

@@ -1,0 +1,143 @@
+"""Observability hooks for the reference engine.
+
+The engine exposes the timed reference stream — every page-table, nested
+page-table, permission-table and data reference — as a sequence of events.
+Hooks are the pluggable observers of that stream:
+
+* :class:`EngineHook` — the no-op base protocol.  Every callback has an
+  empty default so a hook only overrides what it cares about, and the
+  engine skips the dispatch entirely while no hook is installed (the
+  zero-cost default: the hot path pays one truthiness test on an empty
+  tuple).
+* :class:`RecordingHook` — captures every event verbatim; used by tests
+  and by the trace recorder.
+* :class:`HistogramHook` — aggregates the stream into latency / refs
+  histograms (see :class:`repro.common.stats.Histogram`) suitable for
+  machine-readable export through :class:`repro.engine.metrics.MetricsSink`.
+
+Event kinds (:class:`RefKind`) name *who issued* a memory reference — the
+paper's central accounting (Fig 2's 4/12/6, Fig 13's 16/48/24/18):
+
+========== ==========================================================
+``PT``      stage-1 page-table reference (Sv39/48/57 walker)
+``NPT``     nested (G-stage, Sv39x4) page-table reference
+``GUEST_PT`` guest page-table reference (a GPA-addressed PT page)
+``CHECKER`` permission-table reference issued by the isolation checker
+``DATA``    the data reference itself
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..common.stats import StatGroup
+from ..common.types import AccessType
+
+
+class RefKind(enum.Enum):
+    """Who issued a timed memory reference."""
+
+    PT = "pt"
+    NPT = "npt"
+    GUEST_PT = "guest_pt"
+    CHECKER = "checker"
+    DATA = "data"
+
+
+@dataclass(frozen=True)
+class ReferenceEvent:
+    """One recorded reference event (used by :class:`RecordingHook`).
+
+    ``cycles`` is the latency charged for this reference.  Checker events
+    are emitted one per permission-table reference; the first event of a
+    check carries the whole check's latency and the rest carry 0, so the
+    per-access sum of event cycles equals the walk+data latency.
+    """
+
+    kind: RefKind
+    paddr: int
+    cycles: int
+
+
+class EngineHook:
+    """No-op base class for engine observers.
+
+    Subclass and override any subset of the callbacks.  Hooks must only
+    observe: the engine guarantees that installing or removing hooks does
+    not change cycle counts or reference counts.
+    """
+
+    def on_reference(self, kind: RefKind, paddr: int, cycles: int) -> None:
+        """One timed memory reference was issued."""
+
+    def on_access(self, va: int, access: AccessType, cycles: int, tlb_hit: bool, refs: int) -> None:
+        """One full timed access completed (machine or guest)."""
+
+    def on_tlb_fill(self, entry, which: str = "dtlb") -> None:
+        """A TLB was filled (``which``: ``dtlb`` / ``combined`` / ``gstage``)."""
+
+    def on_fault(self, exc: BaseException) -> None:
+        """An access faulted (page fault, guest page fault or access fault)."""
+
+
+class RecordingHook(EngineHook):
+    """Records the full event stream; test/debug aid."""
+
+    def __init__(self) -> None:
+        self.references: List[ReferenceEvent] = []
+        self.accesses: List[Tuple[int, AccessType, int, bool, int]] = []
+        self.tlb_fills: List[Tuple[object, str]] = []
+        self.faults: List[BaseException] = []
+
+    def on_reference(self, kind: RefKind, paddr: int, cycles: int) -> None:
+        self.references.append(ReferenceEvent(kind, paddr, cycles))
+
+    def on_access(self, va: int, access: AccessType, cycles: int, tlb_hit: bool, refs: int) -> None:
+        self.accesses.append((va, access, cycles, tlb_hit, refs))
+
+    def on_tlb_fill(self, entry, which: str = "dtlb") -> None:
+        self.tlb_fills.append((entry, which))
+
+    def on_fault(self, exc: BaseException) -> None:
+        self.faults.append(exc)
+
+    def references_of(self, kind: RefKind) -> List[ReferenceEvent]:
+        return [event for event in self.references if event.kind is kind]
+
+    def clear(self) -> None:
+        self.references.clear()
+        self.accesses.clear()
+        self.tlb_fills.clear()
+        self.faults.clear()
+
+
+class HistogramHook(EngineHook):
+    """Aggregates the reference stream into latency / refs histograms.
+
+    Owns a :class:`~repro.common.stats.StatGroup` with:
+
+    * ``access_cycles`` histogram — end-to-end latency per access;
+    * ``refs_per_access`` histogram — memory references per access;
+    * ``ref_cycles.<kind>`` histograms — latency per reference, by kind;
+    * counters ``accesses``, ``tlb_hits``, ``faults`` and ``refs.<kind>``.
+    """
+
+    def __init__(self, name: str = "engine"):
+        self.stats = StatGroup(name)
+
+    def on_reference(self, kind: RefKind, paddr: int, cycles: int) -> None:
+        self.stats.bump(f"refs.{kind.value}")
+        self.stats.histogram(f"ref_cycles.{kind.value}").observe(cycles)
+
+    def on_access(self, va: int, access: AccessType, cycles: int, tlb_hit: bool, refs: int) -> None:
+        self.stats.bump("accesses")
+        if tlb_hit:
+            self.stats.bump("tlb_hits")
+        self.stats.histogram("access_cycles").observe(cycles)
+        self.stats.histogram("refs_per_access").observe(refs)
+
+    def on_fault(self, exc: BaseException) -> None:
+        self.stats.bump("faults")

@@ -1,0 +1,85 @@
+"""Machine-readable metrics export for experiments.
+
+Experiments historically printed aligned text tables only.  A
+:class:`MetricsSink` collects the same per-figure rows — plus stat-group
+snapshots and histograms from the engine's observability hooks — into one
+JSON document, so benchmark results can be diffed, plotted and regressed
+mechanically.
+
+Typical use (see :mod:`repro.experiments.summary`)::
+
+    sink = MetricsSink("summary")
+    sink.record_rows("summary", rows)
+    sink.record_stats("summary", histogram_hook.stats)
+    sink.write("benchmarks/results/summary_metrics.json")
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Mapping, Optional, Union
+
+from ..common.stats import Histogram, StatGroup
+
+_Scalar = Union[int, float, str, bool, None]
+
+
+def _plain(value: object) -> _Scalar:
+    """Coerce a cell to a JSON-safe scalar."""
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class MetricsSink:
+    """Collects per-figure rows, scalars, counters and histograms.
+
+    The payload groups everything under the *figure* (experiment id) it
+    belongs to, keeping one sink reusable across a whole run.
+    """
+
+    def __init__(self, label: str = "repro"):
+        self.label = label
+        self._figures: Dict[str, Dict[str, object]] = {}
+
+    def _figure(self, figure: str) -> Dict[str, object]:
+        return self._figures.setdefault(
+            figure, {"rows": [], "values": {}, "stats": {}, "histograms": {}}
+        )
+
+    # -- recording -----------------------------------------------------------
+
+    def record_rows(self, figure: str, rows: Iterable[Mapping[str, object]]) -> None:
+        """Record a figure's result rows (the same rows ``format_table`` gets)."""
+        bucket: List[Dict[str, _Scalar]] = self._figure(figure)["rows"]  # type: ignore[assignment]
+        for row in rows:
+            bucket.append({str(k): _plain(v) for k, v in row.items()})
+
+    def record_value(self, figure: str, name: str, value: object) -> None:
+        """Record one named scalar metric."""
+        self._figure(figure)["values"][str(name)] = _plain(value)  # type: ignore[index]
+
+    def record_stats(self, figure: str, stats: StatGroup) -> None:
+        """Record a stat group's counters and histograms."""
+        fig = self._figure(figure)
+        fig["stats"][stats.name] = stats.snapshot()  # type: ignore[index]
+        for key, histogram in stats.histograms().items():
+            fig["histograms"][f"{stats.name}.{key}"] = histogram.snapshot()  # type: ignore[index]
+
+    def record_histogram(self, figure: str, name: str, histogram: Histogram) -> None:
+        """Record one standalone histogram."""
+        self._figure(figure)["histograms"][str(name)] = histogram.snapshot()  # type: ignore[index]
+
+    # -- export --------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"label": self.label, "figures": self._figures}
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write(self, path: str, indent: Optional[int] = 2) -> str:
+        """Write the JSON payload to *path*; returns the path."""
+        with open(path, "w") as stream:
+            stream.write(self.to_json(indent=indent) + "\n")
+        return path

@@ -8,7 +8,10 @@ examples agree.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..engine import MetricsSink
+from ..common.stats import StatGroup
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Mapping[str, object]], title: str = "") -> str:
@@ -43,6 +46,31 @@ def normalize(rows: List[Dict[str, object]], value_keys: Sequence[str], baseline
             new_row[key] = 100.0 * float(row[key]) / base if base else 0.0  # type: ignore[arg-type]
         out.append(new_row)
     return out
+
+
+def emit_metrics(
+    label: str,
+    figure: str,
+    rows: Iterable[Mapping[str, object]],
+    stats: Iterable[StatGroup] = (),
+    path: Optional[str] = None,
+    sink: Optional[MetricsSink] = None,
+) -> MetricsSink:
+    """Collect a figure's rows (and stat groups) into a :class:`MetricsSink`.
+
+    The machine-readable counterpart of :func:`format_table`: the same rows
+    land in a JSON document alongside counters and histograms from the
+    engine's observability hooks.  Pass an existing *sink* to accumulate
+    several figures into one payload; pass *path* to write it out.
+    """
+    if sink is None:
+        sink = MetricsSink(label)
+    sink.record_rows(figure, rows)
+    for group in stats:
+        sink.record_stats(figure, group)
+    if path is not None:
+        sink.write(path)
+    return sink
 
 
 def geomean(values: Sequence[float]) -> float:

@@ -62,8 +62,10 @@ class Cache:
 
     def probe(self, paddr: int, update_lru: bool = True) -> bool:
         """Return True (hit) if the line holding *paddr* is resident."""
-        line = self.line_addr(paddr)
-        cset = self._sets[self._index(paddr)]
+        # Hot path: inline line_addr()/_index() to avoid two calls per probe.
+        shifted = paddr >> self._line_shift
+        line = shifted << self._line_shift
+        cset = self._sets[shifted & self._set_mask]
         if line in cset:
             if update_lru:
                 cset.move_to_end(line)
@@ -74,8 +76,9 @@ class Cache:
 
     def insert(self, paddr: int) -> Optional[int]:
         """Fill the line holding *paddr*; return the evicted line address, if any."""
-        line = self.line_addr(paddr)
-        cset = self._sets[self._index(paddr)]
+        shifted = paddr >> self._line_shift
+        line = shifted << self._line_shift
+        cset = self._sets[shifted & self._set_mask]
         if line in cset:
             cset.move_to_end(line)
             return None

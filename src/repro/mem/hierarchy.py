@@ -33,6 +33,9 @@ class MemoryHierarchy:
         self.l2 = Cache(params.l2, seed=seed + 2)
         self.llc = Cache(params.llc, seed=seed + 3)
         self.stats = StatGroup("hierarchy")
+        # Hot-path latency constants, bound once (access() runs per reference).
+        self._l2_lat = params.l2.hit_latency
+        self._llc_lat = params.llc.hit_latency
 
     def access(self, paddr: int, instruction: bool = False) -> int:
         """Perform one reference; return its cycle cost and update occupancy."""
@@ -41,11 +44,11 @@ class MemoryHierarchy:
         cycles = l1.params.hit_latency
         if l1.probe(paddr):
             return cycles
-        cycles += self.l2.params.hit_latency
+        cycles += self._l2_lat
         if self.l2.probe(paddr):
             l1.insert(paddr)
             return cycles
-        cycles += self.llc.params.hit_latency
+        cycles += self._llc_lat
         if self.llc.probe(paddr):
             self.l2.insert(paddr)
             l1.insert(paddr)

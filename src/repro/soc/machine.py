@@ -12,6 +12,14 @@
 3. The data page is validated (result inlined into the TLB entry) and the
    data reference itself is charged.
 
+The check → charge → account stages themselves live in the shared
+:class:`~repro.engine.ReferenceEngine` (``self.engine``): the machine yields
+Sv39/48/57 walker steps and the engine prices them, the same pipeline the
+virtualized (Sv39x4) path composes.  Observability hooks installed on the
+engine see every reference; with no hooks installed the path stays as cheap
+as a hand-rolled loop, and :meth:`run_trace` / :meth:`access_cycles` use a
+batched core that skips per-access :class:`AccessResult` allocation.
+
 Out-of-order overlap is modelled by ``MachineParams.mlp_factor``: BOOM hides
 part of the walk latency behind other work for loads; stores' permission
 checks stay on the critical path (observed in the paper as larger ``sd``
@@ -27,6 +35,7 @@ from ..common.errors import AccessFault, PageFault
 from ..common.params import MachineParams
 from ..common.stats import StatGroup
 from ..common.types import PAGE_MASK, PAGE_SHIFT, AccessType, PrivilegeMode
+from ..engine import Account, RefKind, ReferenceEngine
 from ..isolation.checker import IsolationChecker
 from ..isolation.factory import NullChecker
 from ..mem.hierarchy import MemoryHierarchy
@@ -94,12 +103,23 @@ class Machine:
         self.hierarchy = MemoryHierarchy(params, seed=seed)
         self.tlb = TLB(params.l1_tlb, params.l2_tlb)
         self.pwc = PageWalkCache(params.ptecache_entries)
-        self.checker: IsolationChecker = checker if checker is not None else NullChecker()
+        self.engine = ReferenceEngine(
+            self.hierarchy, checker if checker is not None else NullChecker()
+        )
         self.stats = StatGroup("machine")
+
+    @property
+    def checker(self) -> IsolationChecker:
+        """The isolation checker (owned by the shared reference engine)."""
+        return self.engine.checker
+
+    @checker.setter
+    def checker(self, checker: IsolationChecker) -> None:
+        self.engine.checker = checker
 
     def attach_checker(self, checker: IsolationChecker) -> None:
         """Install the isolation checker (flushes stale inlined permissions)."""
-        self.checker = checker
+        self.engine.checker = checker
         self.tlb.flush()
 
     # -- maintenance operations --------------------------------------------
@@ -129,45 +149,128 @@ class Machine:
 
     def _walk(
         self,
+        acct: Account,
         page_table: PageTable,
         va: int,
         access: AccessType,
         priv: PrivilegeMode,
-    ) -> Tuple[TLBEntry, int, int, int]:
-        """Timed page-table walk; returns (tlb entry, cycles, pt_refs, checker_refs)."""
-        cycles = 0
-        pt_refs = 0
-        checker_refs = 0
+    ) -> TLBEntry:
+        """Timed page-table walk: yield steps to the engine; build the entry."""
+        engine = self.engine
         levels = page_table.levels
         start_level = levels - 1
-        table_pa = page_table.root_pa
         cached = self.pwc.lookup(page_table.root_pa, va, levels)
         if cached is not None:
-            start_level, table_pa = cached
-        walk = page_table.walk(va)  # functional result; we re-time the steps
+            start_level = cached[0]
+        try:
+            walk = page_table.walk(va)  # functional result; we re-time the steps
+        except BaseException as exc:
+            raise engine.fault(exc)
         for i, step in enumerate(walk.steps):
             if step.level > start_level:
                 continue  # resolved by the PWC
-            cost = self.checker.check(step.pte_addr, AccessType.READ, priv)
-            cycles += cost.cycles
-            checker_refs += cost.refs
-            cycles += self.hierarchy.access(step.pte_addr)
-            pt_refs += 1
+            engine.step_ref(acct, step.pte_addr, RefKind.PT, priv)
             if i + 1 < len(walk.steps):
                 # A pointer PTE: remember the child table for future walks.
                 child_table = walk.steps[i + 1].pte_addr & ~PAGE_MASK
                 self.pwc.insert(page_table.root_pa, va, step.level - 1, child_table, levels)
         if not walk.perm.allows(access):
-            raise PageFault(va, f"page permission {walk.perm} denies {access.value}")
+            raise engine.fault(PageFault(va, f"page permission {walk.perm} denies {access.value}"))
         if priv is PrivilegeMode.USER and not walk.user:
-            raise PageFault(va, "user access to supervisor page")
-        entry = TLBEntry(
+            raise engine.fault(PageFault(va, "user access to supervisor page"))
+        return TLBEntry(
             vpn=va >> PAGE_SHIFT,
             ppn=(walk.paddr & ~PAGE_MASK) >> PAGE_SHIFT,
             perm=walk.perm,
             user=walk.user,
         )
-        return entry, cycles, pt_refs, checker_refs
+
+    def _access_core(
+        self,
+        page_table: PageTable,
+        va: int,
+        access: AccessType,
+        priv: PrivilegeMode,
+        asid: int,
+        extra_cycles: int = 0,
+    ) -> Tuple[int, int, bool, int, int]:
+        """The shared timed path; returns (cycles, paddr, tlb_hit, pt_refs, checker_refs).
+
+        ``extra_cycles`` folds fixed non-memory compute work into both the
+        returned cycles *and* the ``machine`` stat group, so result-based
+        and stats-based reports agree (they account through this one path).
+        """
+        engine = self.engine
+        stats = self.stats
+        stats.bump("accesses")
+        entry, cycles = self.tlb.lookup(va, asid)
+        if (
+            entry is not None
+            and entry.checker_perm is not None
+            and self.params.tlb_inlining
+            and not engine.has_hooks
+        ):
+            # Inlined-hit fast path: translation and isolation both resolve
+            # inside the TLB entry, so no Account (and no engine dispatch)
+            # is needed — only the data reference is charged.  Observable
+            # state (stats keys, cache/TLB state, cycles) is identical to
+            # the general path below.
+            if not entry.perm.allows(access):
+                raise engine.fault(
+                    PageFault(va, f"page permission {entry.perm} denies {access.value}")
+                )
+            if not entry.checker_perm.allows(access):
+                raise engine.fault(
+                    AccessFault(entry.ppn << PAGE_SHIFT, access.value, "inlined perm denies")
+                )
+            paddr = (entry.ppn << PAGE_SHIFT) | (va & PAGE_MASK)
+            cycles += (
+                self.hierarchy.access(paddr, instruction=access is AccessType.FETCH)
+                + extra_cycles
+            )
+            stats.bump("cycles", cycles)
+            stats.bump("pt_refs", 0)
+            stats.bump("checker_refs", 0)
+            return cycles, paddr, True, 0, 0
+        acct = Account()
+        if entry is None:
+            stats.bump("tlb_misses")
+            entry = self._walk(acct, page_table, va, access, priv)
+            entry.asid = asid
+            # Data-page check, inlined into the TLB entry at fill time.
+            cost = engine.leaf_check(acct, entry.ppn << PAGE_SHIFT, access, priv)
+            if self.params.tlb_inlining:
+                entry.checker_perm = cost.perm
+            self.tlb.fill(entry)
+            if engine.has_hooks:
+                engine.tlb_filled(entry, "dtlb")
+            tlb_hit = False
+        else:
+            tlb_hit = True
+            if not entry.perm.allows(access):
+                raise engine.fault(
+                    PageFault(va, f"page permission {entry.perm} denies {access.value}")
+                )
+            if entry.checker_perm is not None and self.params.tlb_inlining:
+                if not entry.checker_perm.allows(access):
+                    raise engine.fault(
+                        AccessFault(entry.ppn << PAGE_SHIFT, access.value, "inlined perm denies")
+                    )
+            else:
+                cost = engine.leaf_check(acct, entry.ppn << PAGE_SHIFT, access, priv)
+                if self.params.tlb_inlining:
+                    entry.checker_perm = cost.perm
+        paddr = (entry.ppn << PAGE_SHIFT) | (va & PAGE_MASK)
+        if acct.walk_cycles:
+            cycles += self._mlp(acct.walk_cycles, access)
+        engine.data_ref(acct, paddr, instruction=access is AccessType.FETCH)
+        cycles += acct.data_cycles + extra_cycles
+        stats.bump("cycles", cycles)
+        stats.bump("pt_refs", acct.table_refs)
+        stats.bump("checker_refs", acct.checker_refs)
+        if engine.has_hooks:
+            engine.access_done(va, access, cycles, tlb_hit, acct.total_refs)
+        return cycles, paddr, tlb_hit, acct.table_refs, acct.checker_refs
 
     def access(
         self,
@@ -178,44 +281,25 @@ class Machine:
         asid: int = 0,
     ) -> AccessResult:
         """Perform one timed memory access through the full path."""
-        self.stats.bump("accesses")
-        entry, cycles = self.tlb.lookup(va, asid)
-        pt_refs = 0
-        checker_refs = 0
-        walk_cycles = 0
-        if entry is None:
-            self.stats.bump("tlb_misses")
-            entry, walk_cycles, pt_refs, checker_refs = self._walk(page_table, va, access, priv)
-            entry.asid = asid
-            # Data-page check, inlined into the TLB entry at fill time.
-            paddr_page = entry.ppn << PAGE_SHIFT
-            cost = self.checker.check(paddr_page, access, priv)
-            walk_cycles += cost.cycles
-            checker_refs += cost.refs
-            if self.params.tlb_inlining:
-                entry.checker_perm = cost.perm
-            self.tlb.fill(entry)
-            tlb_hit = False
-        else:
-            tlb_hit = True
-            if not entry.perm.allows(access):
-                raise PageFault(va, f"page permission {entry.perm} denies {access.value}")
-            if entry.checker_perm is not None and self.params.tlb_inlining:
-                if not entry.checker_perm.allows(access):
-                    raise AccessFault(entry.ppn << PAGE_SHIFT, access.value, "inlined perm denies")
-            else:
-                cost = self.checker.check(entry.ppn << PAGE_SHIFT, access, priv)
-                walk_cycles += cost.cycles
-                checker_refs += cost.refs
-                if self.params.tlb_inlining:
-                    entry.checker_perm = cost.perm
-        paddr = (entry.ppn << PAGE_SHIFT) | (va & PAGE_MASK)
-        cycles += self._mlp(walk_cycles, access)
-        cycles += self.hierarchy.access(paddr, instruction=access is AccessType.FETCH)
-        self.stats.bump("cycles", cycles)
-        self.stats.bump("pt_refs", pt_refs)
-        self.stats.bump("checker_refs", checker_refs)
+        cycles, paddr, tlb_hit, pt_refs, checker_refs = self._access_core(
+            page_table, va, access, priv, asid
+        )
         return AccessResult(cycles, paddr, tlb_hit, pt_refs, checker_refs, 1)
+
+    def access_cycles(
+        self,
+        page_table: PageTable,
+        va: int,
+        access: AccessType = AccessType.READ,
+        priv: PrivilegeMode = PrivilegeMode.USER,
+        asid: int = 0,
+    ) -> int:
+        """Like :meth:`access` but returns only the cycle cost.
+
+        The allocation-free fast path for tight workload loops (the GAP /
+        RV8 / Redis models issue millions of accesses and only sum cycles).
+        """
+        return self._access_core(page_table, va, access, priv, asid)[0]
 
     def run_trace(
         self,
@@ -228,14 +312,21 @@ class Machine:
         """Run a (va, access-type) trace; returns aggregate timing.
 
         ``compute_cycles_per_access`` adds a fixed non-memory cost per trace
-        element, modelling the compute work between memory operations.
+        element, modelling the compute work between memory operations; it is
+        accounted both in the result and in ``machine.stats`` (one path).
+
+        This is the batched fast path: a single loop over the engine core
+        with locals bound, no per-access :class:`AccessResult` allocation.
         """
+        core = self._access_core  # bind once; the loop is the hot path
+        cpa = compute_cycles_per_access
         accesses = cycles = pt_refs = checker_refs = tlb_hits = 0
         for va, access in trace:
-            result = self.access(page_table, va, access, priv, asid)
+            c, _paddr, hit, pt, ck = core(page_table, va, access, priv, asid, cpa)
             accesses += 1
-            cycles += result.cycles + compute_cycles_per_access
-            pt_refs += result.pt_refs
-            checker_refs += result.checker_refs
-            tlb_hits += 1 if result.tlb_hit else 0
+            cycles += c
+            pt_refs += pt
+            checker_refs += ck
+            if hit:
+                tlb_hits += 1
         return TraceResult(accesses, cycles, pt_refs, checker_refs, tlb_hits)

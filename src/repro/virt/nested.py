@@ -7,6 +7,13 @@ address.  With a 2-level permission table each of the 16 base references
 gains 2 more (48 total); HPMP backs NPT pages with a segment (-24), and
 HPMP-GPT additionally backs guest-PT pages (-6 more), leaving 2.
 
+The timed path routes through the host machine's shared
+:class:`~repro.engine.ReferenceEngine`: guest-PT steps, nested-PT steps and
+the data reference are priced by the same check → charge → account pipeline
+as the native path, tagged :data:`RefKind.GUEST_PT` / :data:`RefKind.NPT` /
+:data:`RefKind.DATA` so observability hooks can attribute every reference
+of the 3D walk.
+
 ``GuestMemoryView`` lets the stock :class:`~repro.paging.pagetable.PageTable`
 build *guest* page tables: it looks like a physical memory addressed by GPA
 but stores through the backing map to host memory.
@@ -15,10 +22,12 @@ but stores through the backing map to host memory.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from ..common.errors import GuestPageFault
+from ..common.stats import StatGroup
 from ..common.types import PAGE_MASK, PAGE_SHIFT, PAGE_SIZE, AccessType, Permission, PrivilegeMode
+from ..engine import Account, RefKind
 from ..mem.physical import PhysicalMemory
 from ..paging.pagetable import PageTable
 from ..paging.tlb import TLB, TLBEntry
@@ -99,6 +108,7 @@ class VirtualMachine:
     ):
         self.system = system
         self.machine = system.machine
+        self.engine = system.machine.engine  # the shared reference pipeline
         self.view = GuestMemoryView(system.memory)
         self.gpt_contiguous = gpt_contiguous
         # The nested page table is a host page table over GPAs (Sv39x4 is
@@ -118,6 +128,7 @@ class VirtualMachine:
         params = system.params
         self.combined_tlb = TLB(params.l1_tlb, params.l2_tlb)
         self.g_tlb = TLB(params.l1_tlb, params.l2_tlb)
+        self.stats = StatGroup("vm")
 
     def _back(self, gpa_page: int, frame: Optional[int] = None) -> int:
         if frame is None:
@@ -161,57 +172,80 @@ class VirtualMachine:
 
     # -- the timed two-stage access path -------------------------------------------
 
-    def _check(self, hpa: int, access: AccessType) -> int:
-        """Checker validation of one host-physical access; returns cycles."""
-        cost = self.machine.checker.check(hpa, access, S)
-        self._refs += cost.refs
-        self._checker_refs += cost.refs
-        return cost.cycles
+    def _nested_resolve(self, acct: Account, gpa: int) -> int:
+        """GPA -> HPA through the G stage (with G-TLB); returns the HPA.
 
-    def _nested_resolve(self, gpa: int) -> Tuple[int, int]:
-        """GPA -> HPA through the G stage (with G-TLB); returns (hpa, cycles)."""
+        G-TLB probe latency and nested-walk step costs accrue to *acct*;
+        each Sv39x4 step is an engine :data:`RefKind.NPT` reference.
+        """
         entry, cycles = self.g_tlb.lookup(gpa)
+        acct.walk_cycles += cycles
         if entry is not None:
-            return (entry.ppn << PAGE_SHIFT) | (gpa & PAGE_MASK), cycles
+            return (entry.ppn << PAGE_SHIFT) | (gpa & PAGE_MASK)
+        engine = self.engine
         walk = self.npt.walk(gpa)
         for step in walk.steps:
-            cycles += self._check(step.pte_addr, AccessType.READ)
-            cycles += self.machine.hierarchy.access(step.pte_addr)
-            self._refs += 1
-        self.g_tlb.fill(
-            TLBEntry(vpn=gpa >> PAGE_SHIFT, ppn=(walk.paddr & ~PAGE_MASK) >> PAGE_SHIFT, perm=walk.perm, user=True)
+            engine.step_ref(acct, step.pte_addr, RefKind.NPT, S)
+        entry = TLBEntry(
+            vpn=gpa >> PAGE_SHIFT, ppn=(walk.paddr & ~PAGE_MASK) >> PAGE_SHIFT, perm=walk.perm, user=True
         )
-        return walk.paddr, cycles
+        self.g_tlb.fill(entry)
+        if engine.has_hooks:
+            engine.tlb_filled(entry, "gstage")
+        return walk.paddr
 
-    def guest_access(self, gva: int, access: AccessType = AccessType.READ) -> GuestAccessResult:
-        """One timed guest memory access (the paper's hlv.d probe)."""
-        self._refs = 0
-        self._checker_refs = 0
+    def access(self, gva: int, access: AccessType = AccessType.READ) -> GuestAccessResult:
+        """One timed guest memory access (the paper's hlv.d probe).
+
+        The 3D walk as engine stages: every guest-PT step first resolves its
+        own GPA through the G stage (:data:`RefKind.NPT` references), then
+        is checked and read itself (:data:`RefKind.GUEST_PT`); the data GPA
+        takes one more G-stage resolve, the data-page check, and the data
+        reference.
+        """
+        engine = self.engine
+        stats = self.stats
+        stats.bump("accesses")
+        acct = Account()
         entry, cycles = self.combined_tlb.lookup(gva)
         if entry is not None:
             hpa = (entry.ppn << PAGE_SHIFT) | (gva & PAGE_MASK)
-            cycles += self.machine.hierarchy.access(hpa)
+            engine.data_ref(acct, hpa)
+            cycles += acct.data_cycles
+            stats.bump("tlb_hits")
+            stats.bump("cycles", cycles)
+            if engine.has_hooks:
+                engine.access_done(gva, access, cycles, True, 1)
             return GuestAccessResult(cycles, hpa, True, 1, 0)
-        gwalk = self.guest_pt.walk(gva)
+        try:
+            gwalk = self.guest_pt.walk(gva)
+        except BaseException as exc:
+            raise engine.fault(exc)
         for step in gwalk.steps:
             # step.pte_addr is a GPA: translate it through the G stage...
-            hpa_pte, ncycles = self._nested_resolve(step.pte_addr)
-            cycles += ncycles
+            hpa_pte = self._nested_resolve(acct, step.pte_addr)
             # ...then check and read the guest PT page itself.
-            cycles += self._check(hpa_pte, AccessType.READ)
-            cycles += self.machine.hierarchy.access(hpa_pte)
-            self._refs += 1
-        hpa_data, ncycles = self._nested_resolve(gwalk.paddr)
-        cycles += ncycles
-        cycles += self._check(hpa_data & ~PAGE_MASK, access)
-        self.combined_tlb.fill(
-            TLBEntry(
-                vpn=gva >> PAGE_SHIFT,
-                ppn=(hpa_data & ~PAGE_MASK) >> PAGE_SHIFT,
-                perm=gwalk.perm,
-                user=True,
-            )
+            engine.step_ref(acct, hpa_pte, RefKind.GUEST_PT, S)
+        hpa_data = self._nested_resolve(acct, gwalk.paddr)
+        engine.leaf_check(acct, hpa_data & ~PAGE_MASK, access, S)
+        entry = TLBEntry(
+            vpn=gva >> PAGE_SHIFT,
+            ppn=(hpa_data & ~PAGE_MASK) >> PAGE_SHIFT,
+            perm=gwalk.perm,
+            user=True,
         )
-        cycles += self.machine.hierarchy.access(hpa_data)
-        self._refs += 1
-        return GuestAccessResult(cycles, hpa_data, False, self._refs, self._checker_refs)
+        self.combined_tlb.fill(entry)
+        if engine.has_hooks:
+            engine.tlb_filled(entry, "combined")
+        engine.data_ref(acct, hpa_data)
+        cycles += acct.walk_cycles + acct.data_cycles
+        refs = acct.total_refs
+        stats.bump("cycles", cycles)
+        stats.bump("refs", refs)
+        stats.bump("checker_refs", acct.checker_refs)
+        if engine.has_hooks:
+            engine.access_done(gva, access, cycles, False, refs)
+        return GuestAccessResult(cycles, hpa_data, False, refs, acct.checker_refs)
+
+    #: Paper-compatible name for :meth:`access` (the hlv.d probe).
+    guest_access = access

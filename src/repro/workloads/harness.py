@@ -78,17 +78,21 @@ class ArrayMap:
 
     def read(self, name: str, index: int) -> int:
         """Timed read of one element; returns cycles."""
-        result = self.system.machine.access(self.space.page_table, self.va(name, index), AccessType.READ, U, self.space.asid)
-        self.cycles += result.cycles
+        cycles = self.system.machine.access_cycles(
+            self.space.page_table, self.va(name, index), AccessType.READ, U, self.space.asid
+        )
+        self.cycles += cycles
         self.accesses += 1
-        return result.cycles
+        return cycles
 
     def write(self, name: str, index: int) -> int:
         """Timed write of one element; returns cycles."""
-        result = self.system.machine.access(self.space.page_table, self.va(name, index), AccessType.WRITE, U, self.space.asid)
-        self.cycles += result.cycles
+        cycles = self.system.machine.access_cycles(
+            self.space.page_table, self.va(name, index), AccessType.WRITE, U, self.space.asid
+        )
+        self.cycles += cycles
         self.accesses += 1
-        return result.cycles
+        return cycles
 
     def compute(self, cycles: int) -> None:
         """Account for non-memory compute work."""
@@ -142,11 +146,11 @@ class HeapMap:
         """Timed accesses to one object; returns cycles."""
         va = self.va_of(obj_id, field_offset)
         cycles = 0
-        machine = self.system.machine
+        access_cycles = self.system.machine.access_cycles
         for _ in range(reads):
-            cycles += machine.access(self.space.page_table, va, AccessType.READ, U, self.space.asid).cycles
+            cycles += access_cycles(self.space.page_table, va, AccessType.READ, U, self.space.asid)
         for _ in range(writes):
-            cycles += machine.access(self.space.page_table, va, AccessType.WRITE, U, self.space.asid).cycles
+            cycles += access_cycles(self.space.page_table, va, AccessType.WRITE, U, self.space.asid)
         self.cycles += cycles
         self.accesses += reads + writes
         return cycles

@@ -14,6 +14,7 @@ from typing import Iterable, Iterator, List, Optional, TextIO, Tuple
 
 from ..common.errors import WorkloadError
 from ..common.types import AccessType, PrivilegeMode
+from ..engine import EngineHook
 from ..soc.machine import TraceResult
 from ..soc.system import AddressSpace, System
 
@@ -98,8 +99,13 @@ class Trace:
         return cls.load(io.StringIO(text))
 
 
-class TraceRecorder:
-    """Wraps a machine to capture every access it performs.
+class TraceRecorder(EngineHook):
+    """An engine hook that captures every access a machine performs.
+
+    Installing on the machine's :class:`~repro.engine.ReferenceEngine`
+    (rather than shadowing ``machine.access``) means the recorder sees all
+    timed paths uniformly: ``access``, the allocation-free
+    ``access_cycles`` used by workload harnesses, and ``run_trace``.
 
     Use as a context manager::
 
@@ -111,21 +117,16 @@ class TraceRecorder:
     def __init__(self, machine):
         self.machine = machine
         self.trace = Trace()
-        self._original = None
+
+    def on_access(self, va: int, access: AccessType, cycles: int, tlb_hit: bool, refs: int) -> None:
+        self.trace.append(va, access)
 
     def __enter__(self) -> "TraceRecorder":
-        self._original = self.machine.access
-
-        def recording_access(page_table, va, access=AccessType.READ, *args, **kwargs):
-            self.trace.append(va, access)
-            return self._original(page_table, va, access, *args, **kwargs)
-
-        self.machine.access = recording_access
+        self.machine.engine.install_hook(self)
         return self
 
     def __exit__(self, *exc) -> None:
-        del self.machine.access  # drop the instance shadow; the class method resumes
-        self._original = None
+        self.machine.engine.remove_hook(self)
 
 
 def replay(

@@ -111,10 +111,12 @@ class TestRecordReplay:
 
     def test_recorder_restores_machine(self):
         system = System(machine="rocket", checker_kind="pmp", mem_mib=128)
-        original = system.machine.access
-        with TraceRecorder(system.machine):
-            assert system.machine.access != original
-        assert system.machine.access == original
+        engine = system.machine.engine
+        assert not engine.has_hooks
+        with TraceRecorder(system.machine) as recorder:
+            assert engine.has_hooks
+            assert recorder in engine.hooks
+        assert not engine.has_hooks
 
     def test_replay_reproduces_reference_counts(self):
         trace = self.make_trace()

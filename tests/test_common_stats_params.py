@@ -3,8 +3,11 @@
 import pytest
 
 from repro.common.params import CacheParams, boom, machine_params, rocket
-from repro.common.stats import StatGroup
-from repro.experiments.report import format_table, geomean, normalize
+from repro.common.stats import Histogram, StatGroup
+from repro.engine import MetricsSink
+from repro.experiments.report import emit_metrics, format_table, geomean, normalize
+
+import json
 
 
 class TestStatGroup:
@@ -43,6 +46,119 @@ class TestStatGroup:
         stats.bump("z")
         assert list(stats) == ["z"]
         assert "z=1" in repr(stats)
+
+    def test_snapshot_merge_round_trip(self):
+        a = StatGroup("a")
+        a.bump("hit", 7)
+        a.bump("miss", 3)
+        b = StatGroup("b")
+        b.merge(a.snapshot())
+        assert b.snapshot() == a.snapshot()
+        b.merge(a.snapshot())  # merging twice doubles every counter
+        assert b["hit"] == 14 and b["miss"] == 6
+        assert a.snapshot() == {"hit": 7, "miss": 3}  # source untouched
+
+    def test_ratio_docstring_is_honest(self):
+        # The documented example: hit=1, miss=2 -> hit/(hit+miss) = 1/3.
+        s = StatGroup("tlb")
+        s.bump("hit")
+        s.bump("miss", 2)
+        assert round(s.ratio("hit", "miss"), 4) == 0.3333
+
+    def test_observe_and_histogram_access(self):
+        stats = StatGroup("t")
+        stats.observe("lat", 5)
+        stats.observe("lat", 6, count=2)
+        hist = stats.histogram("lat")
+        assert hist.count == 3 and hist.total == 17
+        assert stats.histograms() == {"lat": hist}
+        stats.reset()
+        assert hist.count == 0
+
+    def test_to_json_includes_histograms(self):
+        stats = StatGroup("t")
+        stats.bump("hit")
+        stats.observe("lat", 4)
+        payload = json.loads(stats.to_json())
+        assert payload["counters"] == {"hit": 1}
+        assert payload["histograms"]["lat"]["count"] == 1
+
+
+class TestHistogram:
+    def test_power_of_two_buckets(self):
+        h = Histogram("lat")
+        for v in (0, 1, 2, 3, 4, 7, 8, 300):
+            h.observe(v)
+        assert h.buckets() == {"0": 1, "1": 1, "2-3": 2, "4-7": 2, "8-15": 1, "256-511": 1}
+        assert (h.count, h.min, h.max) == (8, 0, 300)
+
+    def test_mean_and_percentile(self):
+        h = Histogram()
+        assert h.percentile(50) is None and h.mean == 0.0
+        for _ in range(99):
+            h.observe(1)
+        h.observe(1024)
+        assert h.mean == (99 + 1024) / 100
+        assert h.percentile(50) == 1
+        assert h.percentile(99) == 1
+        assert h.percentile(100) == 2047  # bucket upper bound
+
+    def test_negative_clamped(self):
+        h = Histogram()
+        h.observe(-5)
+        assert h.min == 0 and h.buckets() == {"0": 1}
+
+    def test_merge_histogram_and_snapshot(self):
+        a, b = Histogram("a"), Histogram("b")
+        for v in (1, 2, 1000):
+            a.observe(v)
+        for v in (0, 4):
+            b.observe(v)
+        merged = Histogram("m")
+        merged.merge(a)
+        merged.merge(b.snapshot())  # snapshots merge the same as live objects
+        assert merged.count == 5
+        assert merged.total == a.total + b.total
+        assert (merged.min, merged.max) == (0, 1000)
+        assert merged.buckets() == {**a.buckets(), **b.buckets()}
+
+    def test_snapshot_reset_round_trip(self):
+        h = Histogram("lat")
+        h.observe(12, count=3)
+        snap = h.snapshot()
+        assert snap["count"] == 3 and snap["raw"] == {"4": 3}
+        h.reset()
+        assert h.count == 0 and h.snapshot()["raw"] == {}
+        h.merge(snap)
+        assert h.snapshot() == snap
+
+
+class TestMetricsSink:
+    def test_rows_values_stats_round_trip(self, tmp_path):
+        stats = StatGroup("engine")
+        stats.bump("accesses", 2)
+        stats.observe("access_cycles", 100)
+        sink = emit_metrics(
+            "test", "fig2", [{"kind": "pmp", "refs": 4}], stats=[stats]
+        )
+        sink.record_value("fig2", "geomean", 1.5)
+        payload = json.loads(sink.to_json())
+        fig = payload["figures"]["fig2"]
+        assert fig["rows"] == [{"kind": "pmp", "refs": 4}]
+        assert fig["values"]["geomean"] == 1.5
+        assert fig["stats"]["engine"] == {"accesses": 2}
+        assert fig["histograms"]["engine.access_cycles"]["count"] == 1
+        path = tmp_path / "metrics.json"
+        sink.write(str(path))
+        assert json.loads(path.read_text()) == payload
+
+    def test_accumulates_across_figures(self):
+        sink = MetricsSink("multi")
+        sink.record_rows("a", [{"x": 1}])
+        emit_metrics("ignored", "b", [{"y": 2}], sink=sink)
+        figures = sink.to_dict()["figures"]
+        assert set(figures) == {"a", "b"}
+        assert sink.label == "multi"
 
 
 class TestMachineParams:

@@ -1,0 +1,160 @@
+"""Engine observability-hook semantics.
+
+Hooks observe the timed reference stream; they must never alter it.  The
+contract tested here: a recording hook sees exactly ``total_refs`` events
+per access, installing/removing hooks leaves every cycle and reference
+count untouched, and the no-hook default costs nothing but a truthiness
+test (the engine publishes only when ``has_hooks``).
+"""
+
+import pytest
+
+from repro.common.errors import PageFault
+from repro.common.types import PAGE_SIZE, AccessType, PrivilegeMode
+from repro.engine import HistogramHook, RecordingHook, RefKind
+from repro.soc.system import System
+from repro.virt.nested import GUEST_DRAM_BASE, VirtualMachine
+
+VA = 0x20_0000_0000
+GVA = 0x40_0000_0000
+
+
+def make_system(kind="pmpt", machine="rocket"):
+    system = System(machine=machine, checker_kind=kind, mem_mib=128)
+    space = system.new_address_space()
+    space.map(VA, 4 * PAGE_SIZE)
+    system.machine.cold_boot()
+    return system, space
+
+
+class TestEventStream:
+    @pytest.mark.parametrize("kind", ["pmp", "pmpt", "hpmp"])
+    def test_hook_sees_exactly_total_refs_events(self, kind):
+        system, space = make_system(kind)
+        hook = system.machine.engine.install_hook(RecordingHook())
+        result = system.access(space, VA)
+        assert len(hook.references) == result.total_refs
+        assert len(hook.references_of(RefKind.PT)) == result.pt_refs
+        assert len(hook.references_of(RefKind.CHECKER)) == result.checker_refs
+        assert len(hook.references_of(RefKind.DATA)) == 1
+        assert hook.references_of(RefKind.NPT) == []
+
+    def test_warm_hit_emits_one_data_event(self):
+        system, space = make_system("pmpt")
+        system.access(space, VA)  # fill the TLB (and inline the check)
+        hook = system.machine.engine.install_hook(RecordingHook())
+        result = system.access(space, VA)
+        assert result.tlb_hit
+        assert [e.kind for e in hook.references] == [RefKind.DATA]
+
+    def test_on_access_reports_outcome(self):
+        system, space = make_system("pmpt")
+        hook = system.machine.engine.install_hook(RecordingHook())
+        result = system.access(space, VA)
+        assert hook.accesses == [(VA, AccessType.READ, result.cycles, False, result.total_refs)]
+
+    def test_on_tlb_fill_fires_on_miss_only(self):
+        system, space = make_system("pmp")
+        hook = system.machine.engine.install_hook(RecordingHook())
+        system.access(space, VA)
+        system.access(space, VA)
+        assert len(hook.tlb_fills) == 1
+        entry, which = hook.tlb_fills[0]
+        assert which == "dtlb"
+        assert entry.vpn == VA >> 12
+
+    def test_on_fault_fires(self):
+        system, space = make_system("pmp")
+        hook = system.machine.engine.install_hook(RecordingHook())
+        with pytest.raises(PageFault):
+            system.machine.access(space.page_table, 0xDEAD_0000_0000, AccessType.READ,
+                                  PrivilegeMode.USER, space.asid)
+        assert len(hook.faults) == 1
+
+    @pytest.mark.parametrize("kind,gpt", [("pmp", False), ("pmpt", False), ("hpmp", False), ("hpmp", True)])
+    def test_guest_access_event_stream(self, kind, gpt):
+        system = System(machine="rocket", checker_kind=kind, mem_mib=256)
+        vm = VirtualMachine(system, guest_pages=64, gpt_contiguous=gpt)
+        vm.guest_map(GVA, GUEST_DRAM_BASE)
+        system.machine.cold_boot()
+        hook = system.machine.engine.install_hook(RecordingHook())
+        result = vm.access(GVA)
+        assert len(hook.references) == result.refs
+        # 3D-walk skeleton: 4 nested resolves x 3 NPT steps, 3 guest-PT
+        # steps, 1 data reference; checker refs vary by scheme.
+        assert len(hook.references_of(RefKind.NPT)) == 12
+        assert len(hook.references_of(RefKind.GUEST_PT)) == 3
+        assert len(hook.references_of(RefKind.DATA)) == 1
+        assert len(hook.references_of(RefKind.CHECKER)) == result.checker_refs
+        fills = [which for _, which in hook.tlb_fills]
+        assert fills.count("combined") == 1
+        assert fills.count("gstage") == 4
+
+
+class TestHooksNeverAlterTiming:
+    @pytest.mark.parametrize("kind", ["pmp", "pmpt", "hpmp"])
+    def test_cycles_identical_with_and_without_hook(self, kind):
+        bare_system, bare_space = make_system(kind)
+        bare = [bare_system.access(bare_space, VA + i * PAGE_SIZE) for i in range(4)]
+
+        hooked_system, hooked_space = make_system(kind)
+        hooked_system.machine.engine.install_hook(RecordingHook())
+        hooked = [hooked_system.access(hooked_space, VA + i * PAGE_SIZE) for i in range(4)]
+        assert hooked == bare
+        assert hooked_system.machine.stats.snapshot() == bare_system.machine.stats.snapshot()
+
+    def test_install_remove_round_trip(self):
+        system, space = make_system("pmpt")
+        engine = system.machine.engine
+        hook = RecordingHook()
+        assert not engine.has_hooks
+        assert engine.install_hook(hook) is hook
+        engine.install_hook(hook)  # idempotent
+        assert engine.hooks == (hook,)
+        before = system.access(space, VA).cycles
+        engine.remove_hook(hook)
+        engine.remove_hook(hook)  # removing twice is a no-op
+        assert not engine.has_hooks
+        after = system.access(space, VA + PAGE_SIZE).cycles
+        assert len(hook.references) > 0  # saw the first access only
+        assert before > after  # cold miss vs PWC-warmed miss, not hook cost
+
+    def test_access_cycles_matches_access(self):
+        a_system, a_space = make_system("pmpt")
+        b_system, b_space = make_system("pmpt")
+        for i in range(4):
+            va = VA + (i % 2) * PAGE_SIZE
+            cycles = a_system.machine.access_cycles(
+                a_space.page_table, va, AccessType.READ, PrivilegeMode.USER, a_space.asid
+            )
+            assert cycles == b_system.access(b_space, va).cycles
+
+    def test_run_trace_result_matches_machine_stats(self):
+        system, space = make_system("pmpt")
+        trace = [(VA + (i % 4) * PAGE_SIZE, AccessType.READ) for i in range(64)]
+        result = system.machine.run_trace(
+            space.page_table, iter(trace), asid=space.asid, compute_cycles_per_access=7
+        )
+        stats = system.machine.stats
+        assert result.accesses == stats["accesses"] == 64
+        assert result.cycles == stats["cycles"]  # compute cycles land in both
+        assert result.pt_refs == stats["pt_refs"]
+        assert result.checker_refs == stats["checker_refs"]
+        assert result.tlb_hits == stats["accesses"] - stats["tlb_misses"]
+
+
+class TestHistogramHook:
+    def test_aggregates_stream(self):
+        system, space = make_system("pmpt")
+        hook = system.machine.engine.install_hook(HistogramHook("t"))
+        results = [system.access(space, VA + i * PAGE_SIZE) for i in range(2)]
+        results.append(system.access(space, VA))
+        stats = hook.stats
+        assert stats["accesses"] == 3
+        assert stats["tlb_hits"] == 1
+        assert stats["refs.data"] == 3
+        assert stats["refs.checker"] == sum(r.checker_refs for r in results)
+        hist = stats.histogram("access_cycles")
+        assert hist.count == 3
+        assert hist.total == sum(r.cycles for r in results)
+        assert stats.histogram("refs_per_access").total == sum(r.total_refs for r in results)

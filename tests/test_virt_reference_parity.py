@@ -1,0 +1,105 @@
+"""Per-access reference-count parity for the virtualized (Sv39x4) path.
+
+The paper's Figure 13 accounting — 16 / 48 / 24 / 18 references per cold
+guest access for PMP / PMPT / HPMP / HPMP-GPT — is the contract the
+:mod:`repro.engine` pipeline must preserve exactly.  These tests pin the
+numbers (and their native Fig 2 counterparts 4 / 12 / 6) per checker mode,
+so any refactor of the engine or the nested walker that shifts a single
+reference fails loudly.
+"""
+
+import pytest
+
+from repro.common.types import PAGE_SIZE, AccessType
+from repro.soc.system import System
+from repro.virt.nested import GUEST_DRAM_BASE, VirtualMachine
+
+GVA = 0x40_0000_0000
+VA = 0x20_0000_0000
+
+#: (checker_kind, gpt_contiguous) -> expected refs on a cold guest access.
+VIRT_REFS = {
+    ("pmp", False): 16,
+    ("pmpt", False): 48,
+    ("hpmp", False): 24,
+    ("hpmp", True): 18,
+}
+
+#: checker_kind -> (total refs, checker refs) on a cold native access.
+NATIVE_REFS = {"pmp": (4, 0), "pmpt": (12, 8), "hpmp": (6, 2)}
+
+
+def make_vm(checker_kind: str, gpt_contiguous: bool) -> VirtualMachine:
+    system = System(machine="rocket", checker_kind=checker_kind, mem_mib=256)
+    vm = VirtualMachine(system, guest_pages=64, gpt_contiguous=gpt_contiguous)
+    vm.guest_map(GVA, GUEST_DRAM_BASE)
+    system.machine.cold_boot()
+    return vm
+
+
+class TestNativeReferenceParity:
+    @pytest.mark.parametrize("kind", sorted(NATIVE_REFS))
+    def test_cold_refs_fig2(self, kind):
+        system = System(machine="rocket", checker_kind=kind, mem_mib=128)
+        space = system.new_address_space()
+        space.map(VA, PAGE_SIZE)
+        system.machine.cold_boot()
+        result = system.access(space, VA)
+        want_total, want_checker = NATIVE_REFS[kind]
+        assert result.total_refs == want_total
+        assert result.checker_refs == want_checker
+        assert result.pt_refs == 3  # Sv39: one reference per level
+        assert result.data_refs == 1
+
+
+class TestVirtReferenceParity:
+    @pytest.mark.parametrize("kind,gpt", sorted(VIRT_REFS))
+    def test_cold_refs_fig13(self, kind, gpt):
+        vm = make_vm(kind, gpt)
+        result = vm.access(GVA)
+        assert not result.combined_tlb_hit
+        assert result.refs == VIRT_REFS[(kind, gpt)]
+        # The non-checker references are the 3D-walk skeleton: 3 guest-PT
+        # steps and the data GPA, each nested-resolved in 3 NPT steps,
+        # plus the 4 stage-1 reads and the data reference itself: 16.
+        assert result.refs - result.checker_refs == 16
+
+    @pytest.mark.parametrize("kind,gpt", sorted(VIRT_REFS))
+    def test_stats_agree_with_result(self, kind, gpt):
+        vm = make_vm(kind, gpt)
+        result = vm.access(GVA)
+        assert vm.stats["accesses"] == 1
+        assert vm.stats["refs"] == result.refs
+        assert vm.stats["checker_refs"] == result.checker_refs
+        assert vm.stats["cycles"] == result.cycles
+
+    @pytest.mark.parametrize("kind,gpt", sorted(VIRT_REFS))
+    def test_warm_hit_is_one_data_ref(self, kind, gpt):
+        vm = make_vm(kind, gpt)
+        vm.access(GVA)
+        warm = vm.access(GVA)
+        assert warm.combined_tlb_hit
+        assert warm.refs == 1
+        assert warm.checker_refs == 0
+
+    @pytest.mark.parametrize("kind,gpt", sorted(VIRT_REFS))
+    def test_cold_access_deterministic(self, kind, gpt):
+        a = make_vm(kind, gpt).access(GVA)
+        b = make_vm(kind, gpt).access(GVA)
+        assert a == b
+
+    def test_guest_access_is_access(self):
+        # The paper-compatible name must be the same timed path, not a copy.
+        assert VirtualMachine.guest_access is VirtualMachine.access
+        vm = make_vm("pmpt", False)
+        assert vm.guest_access(GVA).refs == 48
+
+    def test_vm_shares_machine_engine(self):
+        vm = make_vm("hpmp", False)
+        assert vm.engine is vm.machine.engine
+        assert vm.engine.checker is vm.machine.checker
+
+    def test_write_access_counts_match(self):
+        vm = make_vm("pmpt", False)
+        result = vm.access(GVA, AccessType.WRITE)
+        assert result.refs == 48
