@@ -4,7 +4,13 @@ Usage::
 
     python -m repro list
     python -m repro fig10
-    python -m repro all
+    python -m repro all --selfcheck
+    python -m repro verify --ops 2000 --seed 0 --scheme hpmp
+
+``verify`` runs the differential fuzzers from :mod:`repro.verify`;
+``--selfcheck`` installs the shadow validator on every engine an
+experiment builds, re-checking each timed access against the functional
+permission model (identical numbers, non-zero exit on divergence).
 """
 
 from __future__ import annotations
@@ -12,25 +18,42 @@ from __future__ import annotations
 import sys
 
 from .experiments import ALL_EXPERIMENTS
+from .experiments.report import selfcheck_line
 
 
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "verify":
+        from .verify.cli import main as verify_main
+
+        return verify_main(argv[1:])
+    selfcheck = "--selfcheck" in argv
+    if selfcheck:
+        argv = [a for a in argv if a != "--selfcheck"]
     if not argv or argv[0] in ("-h", "--help", "list"):
         print("Reproduce a paper experiment. Available ids:")
         for name, module in ALL_EXPERIMENTS.items():
             doc = (module.__doc__ or "").strip().splitlines()[0]
             print(f"  {name:10s} {doc}")
         print("  all        run every experiment in sequence")
+        print("  verify     run the differential self-verification fuzzers")
+        print("options: --selfcheck   shadow-validate every timed access")
         return 0
     targets = list(ALL_EXPERIMENTS) if argv[0] == "all" else argv
     unknown = [t for t in targets if t not in ALL_EXPERIMENTS]
     if unknown:
         print(f"unknown experiment id(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
+    if selfcheck:
+        from .verify import enable_selfcheck, reset_selfcheck_stats
+
+        enable_selfcheck()
+        reset_selfcheck_stats()
     for target in targets:
         print(f"\n===== {target} =====")
         ALL_EXPERIMENTS[target].main()
+        if selfcheck:
+            print(selfcheck_line())
     return 0
 
 

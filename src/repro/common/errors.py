@@ -70,3 +70,13 @@ class OutOfResources(MonitorError):
 
 class WorkloadError(ReproError):
     """A workload model was driven with invalid inputs."""
+
+
+class VerificationError(ReproError):
+    """A self-verification invariant failed (see :mod:`repro.verify`).
+
+    Raised by the differential oracle, the fuzz harness, and the shadow
+    validator hook when the simulated hardware/monitor state diverges from
+    an independently maintained model.  Any instance of this error is a bug
+    in the simulator, never in the caller.
+    """

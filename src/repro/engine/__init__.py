@@ -7,7 +7,12 @@
 * :class:`MetricsSink` — machine-readable per-figure metrics export.
 """
 
-from .core import Account, ReferenceEngine
+from .core import (
+    Account,
+    ReferenceEngine,
+    register_default_hook_factory,
+    unregister_default_hook_factory,
+)
 from .hooks import EngineHook, HistogramHook, RecordingHook, RefKind, ReferenceEvent
 from .metrics import MetricsSink
 
@@ -20,4 +25,6 @@ __all__ = [
     "RefKind",
     "ReferenceEngine",
     "ReferenceEvent",
+    "register_default_hook_factory",
+    "unregister_default_hook_factory",
 ]

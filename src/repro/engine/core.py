@@ -33,6 +33,27 @@ from .hooks import EngineHook, RefKind
 _READ = AccessType.READ
 _SUPERVISOR = PrivilegeMode.SUPERVISOR
 
+#: Factories called with each newly built engine; whatever hook they return
+#: is installed immediately.  This is how process-wide observability opt-ins
+#: (e.g. ``python -m repro <experiment> --selfcheck``) reach the engines that
+#: experiments construct internally.  Empty by default: the common case pays
+#: nothing.
+_default_hook_factories: List = []
+
+
+def register_default_hook_factory(factory) -> None:
+    """Install ``factory(engine) -> EngineHook`` on every future engine."""
+    if factory not in _default_hook_factories:
+        _default_hook_factories.append(factory)
+
+
+def unregister_default_hook_factory(factory) -> None:
+    """Stop installing *factory* on future engines (no-op if absent)."""
+    try:
+        _default_hook_factories.remove(factory)
+    except ValueError:
+        pass
+
 
 class Account:
     """Mutable per-access accumulator for the engine's account stage.
@@ -86,6 +107,8 @@ class ReferenceEngine:
         self.hierarchy = hierarchy
         self.checker = checker
         self._hooks: Tuple[EngineHook, ...] = ()
+        for factory in _default_hook_factories:
+            self.install_hook(factory(self))
 
     # -- observability ------------------------------------------------------
 

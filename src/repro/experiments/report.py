@@ -73,6 +73,23 @@ def emit_metrics(
     return sink
 
 
+def selfcheck_line() -> str:
+    """One-line shadow-validator status for appending under a figure.
+
+    Reads the process-wide counters from :mod:`repro.verify.selfcheck`;
+    meaningful only after ``enable_selfcheck()`` (the ``--selfcheck`` flag).
+    """
+    from ..verify import selfcheck_summary
+
+    s = selfcheck_summary()
+    status = "OK" if s["violations"] == 0 else f"{s['violations']} VIOLATIONS"
+    return (
+        f"[selfcheck {status}: {s['data_checked']} data refs re-checked over "
+        f"{s['accesses']} accesses, {s['tlb_fills']} TLB fills, "
+        f"{s['hooks']} engines]"
+    )
+
+
 def geomean(values: Sequence[float]) -> float:
     """Geometric mean (0 if empty)."""
     if not values:

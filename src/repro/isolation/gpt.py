@@ -120,8 +120,22 @@ class GPT:
         return (descriptor >> L0_PTR_SHIFT) << PAGE_SHIFT
 
     def set_block(self, offset_gib: int, pas: PAS) -> None:
-        """Assign one PAS to a whole GiB via an L0 block descriptor."""
-        self.memory.write64(self.l0_pa + offset_gib * 8, l0_block(pas))
+        """Assign one PAS to a whole GiB via an L0 block descriptor.
+
+        If the descriptor previously pointed at an L1 table, the block now
+        covers its whole span, so the L1 pages are reclaimed (otherwise they
+        would stay in ``table_pages`` forever and inflate the footprint).
+        """
+        l0_addr = self.l0_pa + offset_gib * 8
+        descriptor = self.memory.read64(l0_addr)
+        self.memory.write64(l0_addr, l0_block(pas))
+        if descriptor & L0_VALID and not descriptor & L0_BLOCK:
+            l1 = (descriptor >> L0_PTR_SHIFT) << PAGE_SHIFT
+            for page in range(self.L1_PAGES_PER_GIB):
+                page_pa = l1 + page * PAGE_SIZE
+                self.table_pages.remove(page_pa)
+                self.memory.fill(page_pa, PAGE_SIZE, 0)
+                self.allocator.free(page_pa)
 
     def set_granule(self, paddr: int, pas: PAS) -> None:
         """Assign one 4 KiB granule's PAS (creates/shatters L1 as needed)."""
@@ -161,6 +175,10 @@ class GPT:
         l1_addr = self._l1_entry_addr(l1, offset)
         granule_index = (offset >> PAGE_SHIFT) % GRANULES_PER_L1_ENTRY
         return l1_entry_get(self.memory.read64(l1_addr), granule_index), (l0_addr, l1_addr)
+
+    def footprint_bytes(self) -> int:
+        """DRAM consumed by table pages (L0 plus live L1 tables)."""
+        return len(self.table_pages) * PAGE_SIZE
 
 
 @dataclass

@@ -93,10 +93,15 @@ def leaf_pmpte_set(pmpte: int, page_index: int, perm: Permission) -> int:
 
 
 def leaf_pmpte_get(pmpte: int, page_index: int) -> Permission:
-    """Extract page *page_index*'s permission from a leaf pmpte."""
+    """Extract page *page_index*'s permission from a leaf pmpte.
+
+    Reads the full 4-bit nibble (the same field width ``leaf_pmpte_set``
+    clears); :meth:`Permission.from_bits` ignores the reserved bit 3, so a
+    future 4th permission bit cannot alias between reads and writes.
+    """
     if not 0 <= page_index < PAGES_PER_LEAF_PTE:
         raise ConfigurationError(f"page index {page_index} out of range")
-    return Permission.from_bits((pmpte >> (page_index * 4)) & 0x7)
+    return Permission.from_bits((pmpte >> (page_index * 4)) & 0xF)
 
 
 def leaf_pmpte_uniform(perm: Permission) -> int:
@@ -198,24 +203,42 @@ class PMPTable:
             raise ConfigurationError(f"PA {paddr:#x} outside table region {self.region}")
         return paddr - self.region.base
 
+    def _release_table_page(self, page: int) -> None:
+        """Return a table page to the allocator and drop it from the footprint."""
+        self.table_pages.remove(page)
+        self.memory.fill(page, PAGE_SIZE, 0)
+        self.allocator.free(page)
+
+    def _root_table_for(self, offset: int, create: bool) -> Optional[int]:
+        """Resolve (and optionally create) the root table covering *offset*.
+
+        For 2-level and flat tables this is ``root_pa``; a 3-level table
+        indirects through the top level, allocating the intermediate root
+        page on demand.  Never touches leaf tables, so huge-pmpte writes can
+        resolve their slot without allocating (or shattering) leaves.
+        """
+        if self.mode != MODE_3LEVEL:
+            return self.root_pa
+        top_idx = (offset >> 34) & (ENTRIES_PER_TABLE - 1)
+        top_addr = self.root_pa + top_idx * 8
+        top = self.memory.read64(top_addr)
+        if not root_pmpte_is_valid(top):
+            if not create:
+                return None
+            root_table = self._new_table_page()
+            self._write(top_addr, root_pmpte_pointer(root_table))
+            return root_table
+        return root_pmpte_leaf_pa(top)
+
     def _leaf_table_for(self, offset: int, create: bool) -> Optional[int]:
         """Resolve (and optionally create) the leaf table covering *offset*.
 
         Shatters a huge root pmpte into a uniform leaf table when a
         finer-grained write lands inside it.
         """
-        root_table = self.root_pa
-        if self.mode == MODE_3LEVEL:
-            top_idx = (offset >> 34) & (ENTRIES_PER_TABLE - 1)
-            top_addr = self.root_pa + top_idx * 8
-            top = self.memory.read64(top_addr)
-            if not root_pmpte_is_valid(top):
-                if not create:
-                    return None
-                root_table = self._new_table_page()
-                self._write(top_addr, root_pmpte_pointer(root_table))
-            else:
-                root_table = root_pmpte_leaf_pa(top)
+        root_table = self._root_table_for(offset, create)
+        if root_table is None:
+            return None
         off1, _off0, _pidx = split_offset(offset)
         root_addr = root_table + off1 * 8
         root = self.memory.read64(root_addr)
@@ -281,17 +304,18 @@ class PMPTable:
                 and offset % LEAF_TABLE_SPAN == 0
                 and addr + LEAF_TABLE_SPAN <= end
             ):
-                root_table = self.root_pa
-                if self.mode == MODE_3LEVEL:
-                    leaf_parent = self._leaf_table_for(offset, create=True)
-                    # _leaf_table_for resolved down to the leaf; for a huge
-                    # write we instead need the root table; recompute it.
-                    top_idx = (offset >> 34) & (ENTRIES_PER_TABLE - 1)
-                    top = self.memory.read64(self.root_pa + top_idx * 8)
-                    root_table = root_pmpte_leaf_pa(top)
-                    del leaf_parent
+                root_table = self._root_table_for(offset, create=True)
                 off1, _o0, _pi = split_offset(offset)
-                self._write(root_table + off1 * 8, root_pmpte_huge(perm))
+                root_addr = root_table + off1 * 8
+                old = self.memory.read64(root_addr)
+                # A permission-less huge write must leave the pmpte invalid:
+                # ROOT_V with R=W=X=0 would decode as a pointer to PPN 0.
+                new = root_pmpte_huge(perm) if perm != Permission.none() else 0
+                self._write(root_addr, new)
+                if root_pmpte_is_valid(old) and not root_pmpte_is_huge(old):
+                    # The slot pointed at a leaf table; the huge pmpte now
+                    # covers its whole span, so reclaim the page.
+                    self._release_table_page(root_pmpte_leaf_pa(old))
                 addr += LEAF_TABLE_SPAN
                 continue
             if offset % LEAF_PTE_SPAN == 0 and addr + LEAF_PTE_SPAN <= end:

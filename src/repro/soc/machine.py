@@ -122,6 +122,19 @@ class Machine:
         self.engine.checker = checker
         self.tlb.flush()
 
+    def install_selfcheck(self):
+        """Install a shadow validator on this machine's engine and return it.
+
+        The validator (:class:`repro.verify.SelfCheckHook`) re-derives every
+        data-reference permission through a side-effect-free functional
+        lookup and raises :class:`~repro.common.errors.VerificationError` on
+        divergence.  Like any hook, installing it disables the inlined
+        TLB-hit fast path but never changes cycle or reference counts.
+        """
+        from ..verify.selfcheck import SelfCheckHook  # local: avoid cycle
+
+        return self.engine.install_hook(SelfCheckHook(self.engine))
+
     # -- maintenance operations --------------------------------------------
 
     def sfence_vma(self, asid: Optional[int] = None) -> int:

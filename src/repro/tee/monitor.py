@@ -22,7 +22,7 @@ Scheme differences (the paper's three systems):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..common.errors import ConfigurationError, MonitorError, OutOfResources
 from ..common.types import MemRegion, PAGE_SIZE, Permission
@@ -85,8 +85,29 @@ class SecureMonitor:
         self.cycles_spent = 0
         # Shared regions (pmp scheme): one entry each, toggled per switch.
         self._shared_entries: List["tuple[int, GMS, frozenset]"] = []
+        # Observers see every mutating monitor operation *after* it applied
+        # (event name + keyword payload).  The verify subsystem uses this to
+        # keep its shadow permission oracle in lockstep; observers must not
+        # mutate monitor state.
+        self._observers: List[Callable[..., None]] = []
         self._reset_hardware()
         self._create_host()
+
+    # -- observability --------------------------------------------------------
+
+    def add_observer(self, observer: Callable[..., None]) -> Callable[..., None]:
+        """Register ``observer(event, **payload)``; returns it for chaining."""
+        if observer not in self._observers:
+            self._observers.append(observer)
+        return observer
+
+    def remove_observer(self, observer: Callable[..., None]) -> None:
+        """Unregister a previously added observer (no-op if absent)."""
+        self._observers = [obs for obs in self._observers if obs is not observer]
+
+    def _notify(self, event: str, **payload) -> None:
+        for observer in self._observers:
+            observer(event, **payload)
 
     # -- low-level cost helpers ---------------------------------------------
 
@@ -161,7 +182,9 @@ class SecureMonitor:
                     addr=memory.region.end >> 2,
                 ),
             )
-            self._pmp_free_entries = list(range(2, len(self.regfile) - 1))
+            # The TOR entry's lower bound is pmpaddr[num-2], so that register
+            # must stay 0: entry num-2 is reserved, not part of the free pool.
+            self._pmp_free_entries = list(range(2, len(self.regfile) - 2))
 
     def _create_host(self) -> None:
         host = Domain(HOST_DOMAIN_ID, "host")
@@ -233,6 +256,7 @@ class SecureMonitor:
                 for gms in other.gmss:
                     domain.table.set_range(gms.region.base, gms.region.size, Permission.none())
         self._domains[domain.domain_id] = domain
+        self._notify("create_domain", domain=domain)
         return domain
 
     def destroy_domain(self, domain_id: int) -> None:
@@ -243,6 +267,7 @@ class SecureMonitor:
         for gms in list(domain.gmss):
             self.revoke_region(domain_id, gms)
         domain.alive = False
+        self._notify("destroy_domain", domain_id=domain_id)
         if self.current_domain_id == domain_id:
             self.switch_to(HOST_DOMAIN_ID)
 
@@ -286,6 +311,7 @@ class SecureMonitor:
                 cycles += self._try_install_fast_segment(domain, gms)
         domain.gmss.append(gms)
         cycles += self._charge_tlb_flush()
+        self._notify("grant_region", domain_id=domain_id, gms=gms)
         return gms, cycles
 
     def _install_pmp_region(self, domain: Domain, gms: GMS) -> int:
@@ -317,6 +343,13 @@ class SecureMonitor:
             return 0  # no free segment entry: GMS simply stays table-backed
         if domain.domain_id != self.current_domain_id:
             return 0  # installed lazily at switch time
+        size = gms.region.size
+        if size < 8 or size & (size - 1) or gms.region.base % size:
+            # Segment entries are NAPOT-shaped; a hint on a region that is
+            # not naturally aligned is simply ignored (it stays table-backed)
+            # rather than faulting — placement is an optimization, not an
+            # obligation.
+            return 0
         index = self._fast_entry_pool.pop(0)
         self.regfile.set_entry(
             index,
@@ -359,6 +392,7 @@ class SecureMonitor:
             if self.system.data_frames.owns(frame):
                 self.system.data_frames.free(frame)
         cycles += self._charge_tlb_flush()
+        self._notify("revoke_region", domain_id=domain_id, gms=gms)
         return cycles
 
     def grant_shared_region(
@@ -413,6 +447,7 @@ class SecureMonitor:
             other.table.set_range(region.base, region.size, Permission.none())
             cycles += self._charge_table_writes(other.table, before)
         cycles += self._charge_tlb_flush()
+        self._notify("grant_shared_region", domain_ids=list(domain_ids), gms=gms)
         return gms, cycles
 
     def hint_fast_region(self, domain_id: int, region: MemRegion) -> "tuple[GMS, int]":
@@ -436,6 +471,7 @@ class SecureMonitor:
         if self.scheme == "hpmp":
             cycles += self._try_install_fast_segment(domain, gms)
         cycles += self._charge_tlb_flush()
+        self._notify("hint_fast_region", domain_id=domain_id, gms=gms)
         return gms, cycles
 
     def relabel(self, domain_id: int, gms: GMS, label: str) -> int:
@@ -444,6 +480,7 @@ class SecureMonitor:
         gms.relabel(label)
         cycles = 0
         if self.scheme != "hpmp":
+            self._notify("relabel", domain_id=domain_id, gms=gms, label=label)
             return cycles
         if label == "fast":
             cycles += self._try_install_fast_segment(domain, gms)
@@ -454,6 +491,7 @@ class SecureMonitor:
                 self._fast_entry_pool.insert(0, index)
                 cycles += self._charge_register_write(1)
         cycles += self._charge_tlb_flush()
+        self._notify("relabel", domain_id=domain_id, gms=gms, label=label)
         return cycles
 
     # -- domain switch (Figure 14 a) -------------------------------------------
@@ -507,4 +545,5 @@ class SecureMonitor:
             )
             cycles += self._charge_register_write(1)
         cycles += self._charge_tlb_flush()
+        self._notify("switch_to", domain_id=domain_id)
         return cycles

@@ -1,0 +1,53 @@
+"""repro.verify — differential self-verification of the isolation stack.
+
+The simulator's answer to "how do we know the tables are right?": an
+independently maintained shadow oracle, a seeded operation fuzzer, and an
+engine-hook shadow validator, all raising
+:class:`~repro.common.errors.VerificationError` on divergence.
+
+* :mod:`repro.verify.oracle` — flat permission maps and the pmpte
+  write-count model, kept in lockstep via monitor observers.
+* :mod:`repro.verify.differential` — side-effect-free functional views and
+  reachable-page footprint checks.
+* :mod:`repro.verify.fuzz` — the ``fuzz_table`` / ``fuzz_monitor`` /
+  ``fuzz_gpt`` harnesses behind ``python -m repro verify``.
+* :mod:`repro.verify.selfcheck` — the opt-in (``--selfcheck``)
+  :class:`SelfCheckHook` shadow validator.
+"""
+
+from .differential import (
+    footprint_violations,
+    functional_view,
+    live_gpt_pages,
+    live_table_pages,
+    normalized,
+)
+from .fuzz import FuzzReport, fuzz_gpt, fuzz_monitor, fuzz_table
+from .oracle import MonitorOracle, ShadowPermissionOracle, TableWriteModel
+from .selfcheck import (
+    SelfCheckHook,
+    disable_selfcheck,
+    enable_selfcheck,
+    reset_selfcheck_stats,
+    selfcheck_summary,
+)
+
+__all__ = [
+    "FuzzReport",
+    "MonitorOracle",
+    "SelfCheckHook",
+    "ShadowPermissionOracle",
+    "TableWriteModel",
+    "disable_selfcheck",
+    "enable_selfcheck",
+    "footprint_violations",
+    "functional_view",
+    "fuzz_gpt",
+    "fuzz_monitor",
+    "fuzz_table",
+    "live_gpt_pages",
+    "live_table_pages",
+    "normalized",
+    "reset_selfcheck_stats",
+    "selfcheck_summary",
+]

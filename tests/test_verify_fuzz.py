@@ -1,0 +1,47 @@
+"""Seeded fuzz smoke tests: the differential harnesses must come back clean.
+
+These are the same harnesses ``python -m repro verify`` runs in CI, at a
+reduced op count to keep the suite quick.  Any nonzero violation count is a
+real divergence between the tables/monitor and the shadow oracle.
+"""
+
+import pytest
+
+from repro.isolation.pmptable import MODE_2LEVEL, MODE_3LEVEL, MODE_FLAT
+from repro.verify import fuzz_gpt, fuzz_monitor, fuzz_table
+from repro.verify.cli import main as verify_main
+
+
+@pytest.mark.parametrize("scheme", ["pmp", "pmpt", "hpmp"])
+def test_fuzz_monitor_clean(scheme):
+    report = fuzz_monitor(scheme, ops=1000, seed=0)
+    assert report.violations == []
+    assert report.ok
+    assert report.checks > 1000  # every op contributes at least one check
+
+
+@pytest.mark.parametrize(
+    "mode", [MODE_2LEVEL, MODE_3LEVEL, MODE_FLAT], ids=["2level", "3level", "flat"]
+)
+def test_fuzz_table_clean(mode):
+    report = fuzz_table(mode=mode, ops=1000, seed=0)
+    assert report.violations == []
+    assert report.ok
+
+
+def test_fuzz_gpt_clean():
+    report = fuzz_gpt(ops=1000, seed=0)
+    assert report.violations == []
+    assert report.ok
+
+
+def test_fuzz_is_deterministic():
+    first = fuzz_monitor("hpmp", ops=120, seed=42)
+    second = fuzz_monitor("hpmp", ops=120, seed=42)
+    assert (first.checks, first.violations) == (second.checks, second.violations)
+
+
+def test_cli_single_scheme_exit_status(capsys):
+    assert verify_main(["--ops", "60", "--seed", "1", "--scheme", "gpt"]) == 0
+    out = capsys.readouterr().out
+    assert "verify gpt" in out and "[PASS]" in out

@@ -1,0 +1,149 @@
+"""Regression tests for the table-accounting fixes this PR lands.
+
+Each test pins behaviour that was wrong before the fixes in
+``repro.isolation.pmptable`` / ``repro.isolation.gpt``:
+
+* 3-level huge writes used to allocate (and leak) a leaf table per call;
+* 2-level huge writes over a shattered slot used to orphan the old leaf;
+* huge clears used to leave a dangling V-bit pointer to PPN 0;
+* ``leaf_pmpte_get`` used to read a 3-bit field where ``leaf_pmpte_set``
+  cleared 4 bits;
+* ``GPT.set_block`` used to leak the L1 pages of the slot it re-covered.
+
+Reverting any fix makes the corresponding test fail.
+"""
+
+import pytest
+
+from repro.common.types import GIB, MIB, PAGE_SIZE, MemRegion, Permission
+from repro.isolation.gpt import GPT, PAS
+from repro.isolation.pmptable import (
+    LEAF_TABLE_SPAN,
+    MODE_2LEVEL,
+    MODE_3LEVEL,
+    PMPTable,
+    leaf_pmpte_get,
+    leaf_pmpte_set,
+)
+from repro.mem.allocator import FrameAllocator
+from repro.mem.physical import PhysicalMemory
+from repro.verify import footprint_violations, live_gpt_pages, live_table_pages
+
+BASE = 0x8000_0000
+
+
+@pytest.fixture
+def env():
+    mem = PhysicalMemory(128 * MIB, base=BASE)
+    alloc = FrameAllocator(MemRegion(BASE, 64 * MIB))
+    return mem, alloc
+
+
+def make_table(env, mode, region_base=0x10_0000_0000, region_size=64 * MIB):
+    mem, alloc = env
+    return PMPTable(mem, alloc, MemRegion(region_base, region_size), mode=mode)
+
+
+class TestHugeWriteAccounting:
+    def test_3level_huge_set_clear_cycles_are_stable(self, env):
+        """A 32 MiB grant/revoke loop must not grow the table or overcharge.
+
+        First huge set pays for the top-level pointer (2 writes); every
+        later set or clear of the same slot is exactly one root write, and
+        the footprint stays at top + one root table (2 pages).
+        """
+        table = make_table(env, MODE_3LEVEL)
+        assert len(table.table_pages) == 1  # just the top table
+
+        assert table.set_range(table.region.base, LEAF_TABLE_SPAN, Permission.rwx()) == 2
+        assert len(table.table_pages) == 2
+
+        for _ in range(8):
+            assert table.set_range(table.region.base, LEAF_TABLE_SPAN, Permission.none()) == 1
+            assert table.set_range(table.region.base, LEAF_TABLE_SPAN, Permission.rw()) == 1
+            assert len(table.table_pages) == 2
+            assert footprint_violations(table) == []
+        assert table.footprint_bytes() == 2 * PAGE_SIZE
+
+    def test_2level_huge_over_leaf_reclaims_the_leaf(self, env):
+        """Covering a shattered slot with a huge pmpte frees the old leaf."""
+        table = make_table(env, MODE_2LEVEL)
+        base = table.region.base
+        table.set_page_perm(base, Permission.rwx())  # shatters slot 0
+        assert len(table.table_pages) == 2
+
+        table.set_range(base, LEAF_TABLE_SPAN, Permission.rwx())
+        assert len(table.table_pages) == 1  # leaf went back to the allocator
+        assert live_table_pages(table) == set(table.table_pages)
+        assert footprint_violations(table) == []
+
+    def test_2level_shatter_huge_cycles_do_not_leak_frames(self, env):
+        """Alternating shatter and huge coverage keeps the allocator stable.
+
+        Before the fix, each cycle orphaned one leaf page: the allocator
+        bled a frame per iteration and ``footprint_bytes`` grew without
+        bound.
+        """
+        table = make_table(env, MODE_2LEVEL)
+        base = table.region.base
+        for _ in range(16):
+            table.set_page_perm(base, Permission.rw())
+            assert len(table.table_pages) == 2
+            table.set_range(base, LEAF_TABLE_SPAN, Permission.rwx())
+            assert len(table.table_pages) == 1
+        assert table.footprint_bytes() == PAGE_SIZE
+        assert footprint_violations(table) == []
+
+    def test_huge_clear_leaves_invalid_pmpte(self, env):
+        """Clearing a huge slot must write 0, not a V-bit 'pointer to PPN 0'."""
+        mem, _alloc = env
+        table = make_table(env, MODE_2LEVEL)
+        base = table.region.base
+        table.set_range(base, LEAF_TABLE_SPAN, Permission.rwx())
+        table.set_range(base, LEAF_TABLE_SPAN, Permission.none())
+        assert mem.read64(table.root_pa) == 0
+        assert table.lookup(base).perm is None
+        assert footprint_violations(table) == []
+
+
+class TestLeafNibbleMask:
+    def test_get_reads_the_full_nibble_set_clears(self):
+        # The reserved bit 3 is part of the field: from_bits ignores it on
+        # read, set clears it on write -- no aliasing between the two.
+        assert leaf_pmpte_get(0xF, 0) == Permission.rwx()
+        assert leaf_pmpte_set(0xF, 0, Permission.none()) == 0
+
+    def test_set_get_roundtrip_with_dirty_neighbours(self):
+        pmpte = 0xFFFF_FFFF_FFFF_FFFF
+        pmpte = leaf_pmpte_set(pmpte, 7, Permission.rw())
+        assert leaf_pmpte_get(pmpte, 7) == Permission.rw()
+        for other in (6, 8):
+            assert leaf_pmpte_get(pmpte, other) == Permission.rwx()
+
+
+class TestGPTBlockReclaim:
+    def test_set_block_reclaims_l1_pages(self, env):
+        mem, alloc = env
+        gpt = GPT(mem, alloc, MemRegion(0x10_0000_0000, 2 * GIB))
+        assert len(gpt.table_pages) == 1  # L0 only
+
+        gpt.set_granule(0x10_0000_0000, PAS.SECURE)  # shatters GiB 0
+        assert len(gpt.table_pages) == 1 + GPT.L1_PAGES_PER_GIB
+
+        gpt.set_block(0, PAS.NONSECURE)
+        assert len(gpt.table_pages) == 1
+        assert gpt.footprint_bytes() == PAGE_SIZE
+        assert live_gpt_pages(gpt) == set(gpt.table_pages)
+        assert footprint_violations(gpt) == []
+
+    def test_granule_block_cycles_are_stable(self, env):
+        mem, alloc = env
+        gpt = GPT(mem, alloc, MemRegion(0x10_0000_0000, 2 * GIB))
+        for _ in range(8):
+            gpt.set_granule(0x10_0000_0000 + 5 * PAGE_SIZE, PAS.REALM)
+            gpt.set_block(0, PAS.ANY)
+        assert len(gpt.table_pages) == 1
+        assert footprint_violations(gpt) == []
+        # The reclaimed slot answers as a block again.
+        pas, _addrs = gpt.lookup(0x10_0000_0000 + 5 * PAGE_SIZE)
+        assert pas == PAS.ANY
