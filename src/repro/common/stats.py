@@ -112,6 +112,13 @@ class Histogram:
         if hi is not None and (self.max is None or hi > self.max):
             self.max = int(hi)
 
+    @classmethod
+    def from_snapshot(cls, snap: Mapping[str, object], name: str = "") -> "Histogram":
+        """Rehydrate a histogram from a :meth:`snapshot` dict."""
+        hist = cls(name)
+        hist.merge(snap)
+        return hist
+
     def snapshot(self) -> Dict[str, object]:
         """A JSON-safe dict: summary stats, labelled buckets, raw indices."""
         return {
@@ -208,14 +215,26 @@ class StatGroup:
         for key, value in other.items():
             self._counters[key] += value
 
-    def to_json(self, indent: Optional[int] = None) -> str:
-        """JSON export of counters and histogram snapshots."""
-        payload = {
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-safe dict of counters plus histogram snapshots."""
+        return {
             "name": self.name,
             "counters": dict(self._counters),
             "histograms": {k: h.snapshot() for k, h in self._histograms.items()},
         }
-        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    def merge_payload(self, payload: Mapping[str, object]) -> None:
+        """Fold a :meth:`to_payload`-style dict (counters and histogram
+        snapshots) into this group — the cross-process counterpart of
+        :meth:`merge`, used to aggregate per-worker telemetry."""
+        for key, value in dict(payload.get("counters", {})).items():  # type: ignore[union-attr]
+            self._counters[key] += int(value)
+        for key, snap in dict(payload.get("histograms", {})).items():  # type: ignore[union-attr]
+            self.histogram(key).merge(snap)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """JSON export of counters and histogram snapshots."""
+        return json.dumps(self.to_payload(), indent=indent, sort_keys=True)
 
     def __repr__(self) -> str:
         body = ", ".join(f"{k}={v}" for k, v in sorted(self._counters.items()))

@@ -13,10 +13,11 @@ from .core import (
     register_default_hook_factory,
     unregister_default_hook_factory,
 )
-from .hooks import EngineHook, HistogramHook, RecordingHook, RefKind, ReferenceEvent
+from .hooks import AccessStatsHook, EngineHook, HistogramHook, RecordingHook, RefKind, ReferenceEvent
 from .metrics import MetricsSink
 
 __all__ = [
+    "AccessStatsHook",
     "Account",
     "EngineHook",
     "HistogramHook",

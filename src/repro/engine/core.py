@@ -99,14 +99,35 @@ class ReferenceEngine:
     stream.  The no-hook default is zero-cost: every emission site guards
     on the (empty-tuple) hook list before doing any work, and hooks can
     never alter timing — they observe after state is updated.
+
+    Dispatch is partitioned per callback: each emission site iterates only
+    the hooks that *override* that callback, so an access-level hook (one
+    that overrides ``on_access`` but not ``on_reference``) adds nothing to
+    the per-reference path — the machine's inlined-TLB-hit fast path stays
+    enabled under it (see :attr:`wants_references`).  Always-on telemetry
+    (``repro.runner``'s default) relies on this.
     """
 
-    __slots__ = ("hierarchy", "checker", "_hooks")
+    __slots__ = (
+        "hierarchy",
+        "checker",
+        "_hooks",
+        "_ref_hooks",
+        "_access_hooks",
+        "_fill_hooks",
+        "_fault_hooks",
+        "_checker_hooks",
+    )
 
     def __init__(self, hierarchy: MemoryHierarchy, checker: IsolationChecker):
         self.hierarchy = hierarchy
         self.checker = checker
         self._hooks: Tuple[EngineHook, ...] = ()
+        self._ref_hooks: Tuple[EngineHook, ...] = ()
+        self._access_hooks: Tuple[EngineHook, ...] = ()
+        self._fill_hooks: Tuple[EngineHook, ...] = ()
+        self._fault_hooks: Tuple[EngineHook, ...] = ()
+        self._checker_hooks: Tuple[EngineHook, ...] = ()
         for factory in _default_hook_factories:
             self.install_hook(factory(self))
 
@@ -120,15 +141,66 @@ class ReferenceEngine:
     def hooks(self) -> Tuple[EngineHook, ...]:
         return self._hooks
 
+    @property
+    def wants_references(self) -> bool:
+        """True when some hook overrides ``on_reference``.
+
+        Callers with a reference-free fast path (the machine's inlined TLB
+        hit) must fall back to the general path only in this case — access
+        completions can be published from the fast path itself.
+        """
+        return bool(self._ref_hooks)
+
+    @property
+    def wants_accesses(self) -> bool:
+        """True when some hook overrides ``on_access`` (guards :meth:`access_done`)."""
+        return bool(self._access_hooks)
+
+    @property
+    def wants_tlb_fills(self) -> bool:
+        """True when some hook overrides ``on_tlb_fill`` (guards :meth:`tlb_filled`)."""
+        return bool(self._fill_hooks)
+
+    def set_checker(self, checker: IsolationChecker) -> None:
+        """Attach (or replace) the isolation checker and notify observers.
+
+        Machines build their engine before the checker exists (the checker
+        needs the machine's hierarchy), so attachment is an event hooks can
+        watch via ``on_checker`` — the stats-harvesting telemetry in
+        :mod:`repro.runner` depends on it.
+        """
+        self.checker = checker
+        for hook in self._checker_hooks:
+            hook.on_checker(checker)
+
     def install_hook(self, hook: EngineHook) -> EngineHook:
         """Install an observer; returns it (handy for chaining)."""
         if hook not in self._hooks:
             self._hooks = self._hooks + (hook,)
+            self._repartition()
+            if type(hook).on_checker is not EngineHook.on_checker:
+                hook.on_checker(self.checker)
         return hook
 
     def remove_hook(self, hook: EngineHook) -> None:
         """Remove a previously installed observer (no-op if absent)."""
         self._hooks = tuple(h for h in self._hooks if h is not hook)
+        self._repartition()
+
+    def _repartition(self) -> None:
+        """Recompute the per-callback dispatch lists from ``_hooks``.
+
+        A hook is dispatched a callback only when its class overrides it
+        (``type(hook).<cb> is not EngineHook.<cb>``), so base-class no-op
+        calls are never paid on the hot path.
+        """
+        hooks = self._hooks
+        base = EngineHook
+        self._ref_hooks = tuple(h for h in hooks if type(h).on_reference is not base.on_reference)
+        self._access_hooks = tuple(h for h in hooks if type(h).on_access is not base.on_access)
+        self._fill_hooks = tuple(h for h in hooks if type(h).on_tlb_fill is not base.on_tlb_fill)
+        self._fault_hooks = tuple(h for h in hooks if type(h).on_fault is not base.on_fault)
+        self._checker_hooks = tuple(h for h in hooks if type(h).on_checker is not base.on_checker)
 
     # -- the pipeline stages -------------------------------------------------
 
@@ -150,12 +222,12 @@ class ReferenceEngine:
         issued through the hierarchy, and cycles/refs land in *acct*.
         Returns the cycles charged.
         """
-        hooks = self._hooks
-        if hooks:
+        fault_hooks = self._fault_hooks
+        if fault_hooks:
             try:
                 cost = self.checker.check(paddr, _READ, priv)
             except BaseException as exc:
-                for hook in hooks:
+                for hook in fault_hooks:
                     hook.on_fault(exc)
                 raise
         else:
@@ -164,9 +236,10 @@ class ReferenceEngine:
         acct.walk_cycles += cost.cycles + charged
         acct.checker_refs += cost.refs
         acct.table_refs += 1
-        if hooks:
-            self._emit_check(hooks, paddr, cost)
-            for hook in hooks:
+        ref_hooks = self._ref_hooks
+        if ref_hooks:
+            self._emit_check(ref_hooks, paddr, cost)
+            for hook in ref_hooks:
                 hook.on_reference(kind, paddr, charged)
         return cost.cycles + charged
 
@@ -183,20 +256,20 @@ class ReferenceEngine:
         :meth:`data_ref` so TLB fill can happen between them, exactly as
         the hardware orders it.
         """
-        hooks = self._hooks
-        if hooks:
+        fault_hooks = self._fault_hooks
+        if fault_hooks:
             try:
                 cost = self.checker.check(paddr, access, priv)
             except BaseException as exc:
-                for hook in hooks:
+                for hook in fault_hooks:
                     hook.on_fault(exc)
                 raise
         else:
             cost = self.checker.check(paddr, access, priv)
         acct.walk_cycles += cost.cycles
         acct.checker_refs += cost.refs
-        if hooks:
-            self._emit_check(hooks, paddr, cost)
+        if self._ref_hooks:
+            self._emit_check(self._ref_hooks, paddr, cost)
         return cost
 
     def data_ref(self, acct: Account, paddr: int, instruction: bool = False) -> int:
@@ -204,7 +277,7 @@ class ReferenceEngine:
         charged = self.hierarchy.access(paddr, instruction=instruction)
         acct.data_cycles += charged
         acct.data_refs += 1
-        hooks = self._hooks
+        hooks = self._ref_hooks
         if hooks:
             for hook in hooks:
                 hook.on_reference(RefKind.DATA, paddr, charged)
@@ -227,13 +300,13 @@ class ReferenceEngine:
             cycles = 0
 
     def access_done(self, va: int, access: AccessType, cycles: int, tlb_hit: bool, refs: int) -> None:
-        """Publish a completed access (callers guard on :attr:`has_hooks`)."""
-        for hook in self._hooks:
+        """Publish a completed access (callers guard on :attr:`wants_accesses`)."""
+        for hook in self._access_hooks:
             hook.on_access(va, access, cycles, tlb_hit, refs)
 
     def tlb_filled(self, entry, which: str = "dtlb") -> None:
-        """Publish a TLB fill (callers guard on :attr:`has_hooks`)."""
-        for hook in self._hooks:
+        """Publish a TLB fill (callers guard on :attr:`wants_tlb_fills`)."""
+        for hook in self._fill_hooks:
             hook.on_tlb_fill(entry, which)
 
     def fault(self, exc: BaseException) -> BaseException:
@@ -241,6 +314,6 @@ class ReferenceEngine:
 
         Usage: ``raise engine.fault(PageFault(...))``.
         """
-        for hook in self._hooks:
+        for hook in self._fault_hooks:
             hook.on_fault(exc)
         return exc

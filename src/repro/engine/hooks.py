@@ -5,13 +5,17 @@ page-table, permission-table and data reference — as a sequence of events.
 Hooks are the pluggable observers of that stream:
 
 * :class:`EngineHook` — the no-op base protocol.  Every callback has an
-  empty default so a hook only overrides what it cares about, and the
-  engine skips the dispatch entirely while no hook is installed (the
-  zero-cost default: the hot path pays one truthiness test on an empty
-  tuple).
+  empty default so a hook only overrides what it cares about; the engine
+  dispatches each callback only to the hooks that override it, so the
+  unused defaults are never even called (and with no hook installed the
+  hot path pays one truthiness test on an empty tuple).
 * :class:`RecordingHook` — captures every event verbatim; used by tests
   and by the trace recorder.
-* :class:`HistogramHook` — aggregates the stream into latency / refs
+* :class:`AccessStatsHook` — access-level counters only; deliberately
+  leaves ``on_reference`` unoverridden so the per-reference path (and the
+  machine's inlined-hit fast path) pays nothing.  The campaign runner's
+  default telemetry.
+* :class:`HistogramHook` — aggregates the full stream into latency / refs
   histograms (see :class:`repro.common.stats.Histogram`) suitable for
   machine-readable export through :class:`repro.engine.metrics.MetricsSink`.
 
@@ -68,6 +72,12 @@ class EngineHook:
     Subclass and override any subset of the callbacks.  Hooks must only
     observe: the engine guarantees that installing or removing hooks does
     not change cycle counts or reference counts.
+
+    Dispatch is per callback: the engine only ever calls the callbacks a
+    hook's class actually overrides, so leaving a callback at its default
+    costs nothing on that event's path.  In particular, a hook that does
+    not override :meth:`on_reference` keeps reference-free fast paths
+    (the machine's inlined TLB hit) enabled.
     """
 
     def on_reference(self, kind: RefKind, paddr: int, cycles: int) -> None:
@@ -81,6 +91,17 @@ class EngineHook:
 
     def on_fault(self, exc: BaseException) -> None:
         """An access faulted (page fault, guest page fault or access fault)."""
+
+    def on_checker(self, checker) -> None:
+        """The engine's isolation checker was attached or replaced.
+
+        Fired at install time with the current checker and again on every
+        :meth:`~repro.engine.ReferenceEngine.set_checker` — machines build
+        their engine before the isolation checker exists (the checker needs
+        the machine's hierarchy), so a hook that wants the *real* checker
+        must listen for the attach rather than read ``engine.checker`` at
+        construction.  Never fired from the timed path.
+        """
 
 
 class RecordingHook(EngineHook):
@@ -112,6 +133,53 @@ class RecordingHook(EngineHook):
         self.accesses.clear()
         self.tlb_fills.clear()
         self.faults.clear()
+
+
+class AccessStatsHook(EngineHook):
+    """Access-level telemetry at near-zero hot-path cost.
+
+    Overrides only ``on_access`` / ``on_fault`` — never ``on_reference`` —
+    so the engine's per-reference dispatch stays empty and the machine's
+    inlined-TLB-hit fast path stays enabled.  The callbacks accumulate
+    plain integers; the :attr:`stats` group is materialized on read.  This
+    is the hook behind ``python -m repro run``'s default ``--telemetry
+    light``: campaigns get access counts, TLB hit rates, total references
+    and cycles without the per-reference cost of :class:`HistogramHook`.
+
+    Counters: ``accesses``, ``tlb_hits``, ``refs``, ``cycles``, ``faults``.
+    """
+
+    def __init__(self, name: str = "engine"):
+        self.name = name
+        self._accesses = 0
+        self._tlb_hits = 0
+        self._refs = 0
+        self._cycles = 0
+        self._faults = 0
+
+    def on_access(self, va: int, access: AccessType, cycles: int, tlb_hit: bool, refs: int) -> None:
+        self._accesses += 1
+        if tlb_hit:
+            self._tlb_hits += 1
+        self._refs += refs
+        self._cycles += cycles
+
+    def on_fault(self, exc: BaseException) -> None:
+        self._faults += 1
+
+    @property
+    def stats(self) -> StatGroup:
+        """The accumulated telemetry as a :class:`StatGroup` (built fresh
+        on every read; cheap, and keeps the callbacks free of dict work)."""
+        group = StatGroup(self.name)
+        if self._accesses:
+            group.bump("accesses", self._accesses)
+            group.bump("tlb_hits", self._tlb_hits)
+            group.bump("refs", self._refs)
+            group.bump("cycles", self._cycles)
+        if self._faults:
+            group.bump("faults", self._faults)
+        return group
 
 
 class HistogramHook(EngineHook):

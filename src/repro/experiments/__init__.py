@@ -3,7 +3,16 @@
 Each module exposes ``run(...) -> list[dict]`` plus a ``main()`` that prints
 the table with the paper's expected shape in the title.  The benchmark
 harness under ``benchmarks/`` calls the same ``run`` functions.
+
+``SHARDS`` additionally slices every experiment into independently runnable
+cells (figure × machine × workload), mirroring how the paper's artifact fans
+its evaluation matrix out over FireSim instances.  ``repro.runner`` schedules
+these cells across a process pool; each shard names a row-producing function
+on its experiment module plus JSON-safe keyword arguments, so a cell can be
+dispatched to a worker, cached content-addressed, and diffed mechanically.
 """
+
+from typing import Dict, NamedTuple, Tuple
 
 from . import (
     ablations,
@@ -22,6 +31,20 @@ from . import (
     table4_hw,
 )
 
+class Shard(NamedTuple):
+    """One independently runnable cell of an experiment's evaluation matrix.
+
+    ``func`` names a ``run*``-style callable on the experiment's module that
+    returns ``list[dict]`` rows; ``kwargs`` must stay JSON-safe (they are
+    hashed into the cell's results-store key and shipped to worker
+    processes).
+    """
+
+    name: str
+    func: str
+    kwargs: Dict[str, object]
+
+
 ALL_EXPERIMENTS = {
     "fig02": fig02_counts,
     "fig03": fig03_preview,
@@ -39,4 +62,60 @@ ALL_EXPERIMENTS = {
     "ablations": ablations,
 }
 
-__all__ = ["ALL_EXPERIMENTS"]
+#: The campaign matrix: every experiment sliced into parallelizable cells.
+#: Long-running figures split along their natural axes (machine × workload ×
+#: access type); quick ones stay whole.  Shard names join with the experiment
+#: id into task ids like ``fig11/gap-boom``.
+SHARDS: Dict[str, Tuple[Shard, ...]] = {
+    "fig02": (Shard("counts", "run", {}),),
+    "fig03": (Shard("preview", "run", {}),),
+    "fig10": tuple(
+        Shard(f"{machine}-{op}", "run_cell", {"machine": machine, "op": op})
+        for machine in ("rocket", "boom")
+        for op in ("ld", "sd")
+    ),
+    "fig11": (
+        Shard("rv8-rocket", "run_rv8", {"machine": "rocket"}),
+        Shard("gap-rocket", "run_gap", {"machine": "rocket", "scale": 12}),
+        Shard("gap-boom", "run_gap", {"machine": "boom", "scale": 12}),
+    ),
+    "fig12": (
+        Shard("functionbench-rocket", "run_functionbench_rows", {"machine": "rocket"}),
+        Shard("functionbench-boom", "run_functionbench_rows", {"machine": "boom"}),
+        Shard("image-chain", "run_chain_rows", {"machine": "boom"}),
+        Shard("redis-rocket", "run_redis_rows", {"machine": "rocket"}),
+        Shard("redis-boom", "run_redis_rows", {"machine": "boom"}),
+    ),
+    "fig13": (
+        Shard("latency", "run", {"machine": "rocket"}),
+        Shard("counts", "reference_counts", {"machine": "rocket"}),
+    ),
+    "fig14": (
+        Shard("domain-switch", "run_domain_switch", {}),
+        Shard("region-alloc-release", "run_region_alloc_release", {}),
+        Shard("alloc-sizes", "run_alloc_sizes", {}),
+    ),
+    "fig15": (
+        Shard("native", "run_fig15", {}),
+        Shard("virtualized", "run_fig15_virtualized", {}),
+        Shard("fig16-cache", "run_fig16", {}),
+    ),
+    "fig17": (Shard("pwc-sweep", "run", {}),),
+    "table3": (
+        Shard("null-read-write", "run", {"syscalls": ["null", "read", "write"]}),
+        Shard("stat-fstat-open", "run", {"syscalls": ["stat", "fstat", "open/close"]}),
+        Shard("pipe-fork-exec", "run", {"syscalls": ["pipe", "fork+exit", "fork+exec"]}),
+    ),
+    "scalability": (Shard("consolidation", "run", {}),),
+    "summary": (Shard("claims", "run", {}),),
+    "table4": (Shard("hw-cost", "run", {}),),
+    "ablations": (
+        Shard("table-depth", "run_table_depth", {}),
+        Shard("tlb-inlining", "run_tlb_inlining", {}),
+        Shard("pmptw-cache-sweep", "run_pmptw_cache_sweep", {}),
+        Shard("hot-range-hints", "run_hint_ablation", {}),
+        Shard("cache-style", "run_cache_style_management", {}),
+    ),
+}
+
+__all__ = ["ALL_EXPERIMENTS", "SHARDS", "Shard"]

@@ -23,6 +23,15 @@ def run(machine: str = "rocket", access: AccessType = AccessType.READ) -> List[D
     return rows
 
 
+#: JSON-safe names for the access axis, used by the campaign shards.
+OPS = {"ld": AccessType.READ, "sd": AccessType.WRITE}
+
+
+def run_cell(machine: str = "rocket", op: str = "ld") -> List[Dict[str, object]]:
+    """Shard entry point: like :func:`run` but *op* is the string ``ld``/``sd``."""
+    return run(machine, OPS[op])
+
+
 def mitigation(rows: List[Dict[str, object]]) -> Dict[str, float]:
     """Fraction of PMPT's extra cost that HPMP removes, per test case."""
     by = {str(r["checker"]): r for r in rows}

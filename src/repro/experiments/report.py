@@ -8,9 +8,12 @@ examples agree.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from ..engine import MetricsSink
+from ..engine.metrics import _plain
 from ..common.stats import StatGroup
 
 
@@ -71,6 +74,26 @@ def emit_metrics(
     if path is not None:
         sink.write(path)
     return sink
+
+
+def rows_to_jsonable(rows: Iterable[Mapping[str, object]]) -> List[Dict[str, object]]:
+    """Coerce experiment rows to JSON-safe dicts (same coercion the sink uses)."""
+    return [{str(k): _plain(v) for k, v in row.items()} for row in rows]
+
+
+def canonical_rows_json(rows: Iterable[Mapping[str, object]]) -> str:
+    """The canonical serialization of a row list: sorted keys, no whitespace.
+
+    Byte-identical for equal results regardless of dict insertion order or
+    which worker produced them — the unit the results store digests and the
+    regression gate compares.
+    """
+    return json.dumps(rows_to_jsonable(rows), sort_keys=True, separators=(",", ":"))
+
+
+def rows_digest(rows: Iterable[Mapping[str, object]]) -> str:
+    """SHA-256 hex digest of :func:`canonical_rows_json`."""
+    return hashlib.sha256(canonical_rows_json(rows).encode("utf-8")).hexdigest()
 
 
 def selfcheck_line() -> str:

@@ -1,0 +1,172 @@
+"""The ``python -m repro run`` entry point: orchestrate a campaign.
+
+Typical invocations::
+
+    python -m repro run --jobs 4                  # full campaign, 4 workers
+    python -m repro run --jobs 2 --filter fig02   # one figure's cells
+    python -m repro run --resume                  # skip cached cells
+    python -m repro run --resume --baseline benchmarks/results/baseline_manifest.json
+
+Outputs: one JSON payload per cell in the content-addressed results store,
+a run manifest, and ``BENCH_summary.json`` at the invocation root so the
+perf trajectory accumulates across revisions.  Exit status: 0 on a clean
+campaign (and clean gate), 1 when any cell failed or the regression gate
+found drift, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional
+
+from ..common.stats import StatGroup
+from .manifest import STATUS_CACHED, CellRecord, RunManifest
+from .pool import CampaignPool, available_cpus, default_jobs
+from .regress import gate
+from .store import DEFAULT_STORE_DIR, ResultStore
+from .tasks import TELEMETRY_LEVELS, TaskSpec, campaign_tasks
+
+DEFAULT_MANIFEST = "benchmarks/results/run_manifest.json"
+DEFAULT_SUMMARY = "BENCH_summary.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro run",
+        description="Run the experiment campaign across a process pool.",
+    )
+    parser.add_argument("-j", "--jobs", type=int, default=None, help=f"worker processes (default: {default_jobs()} on this machine; 1 = inline)")
+    parser.add_argument("-k", "--filter", action="append", default=[], metavar="SUBSTR", help="only cells whose task id contains SUBSTR (repeatable)")
+    parser.add_argument("--resume", action="store_true", help="skip cells already in the results store for this exact code version")
+    parser.add_argument("--timeout", type=float, default=900.0, metavar="S", help="per-cell timeout in seconds (pooled mode only, default 900)")
+    parser.add_argument("--retries", type=int, default=1, help="extra attempts for a failing cell (default 1)")
+    parser.add_argument(
+        "--telemetry",
+        choices=TELEMETRY_LEVELS,
+        default="light",
+        help="per-cell engine telemetry: off = none, light = harvest the simulator's "
+        "existing counters (zero hot-path cost, default), full = per-reference "
+        "histograms via an engine hook (slower)",
+    )
+    parser.add_argument("--store", default=DEFAULT_STORE_DIR, metavar="DIR", help=f"results store directory (default {DEFAULT_STORE_DIR})")
+    parser.add_argument("--manifest", default=DEFAULT_MANIFEST, metavar="PATH", help=f"where to write the run manifest (default {DEFAULT_MANIFEST})")
+    parser.add_argument("--summary", default=DEFAULT_SUMMARY, metavar="PATH", help=f"where to write the campaign summary (default {DEFAULT_SUMMARY})")
+    parser.add_argument("--baseline", default=None, metavar="MANIFEST", help="after the campaign, diff against this prior manifest and fail on drift")
+    parser.add_argument("--label", default="campaign", help="label recorded in the manifest and summary")
+    parser.add_argument("--list-cells", action="store_true", help="list the campaign cells that would run, then exit")
+    return parser
+
+
+def _progress(record: CellRecord, done: int, total: int) -> None:
+    width = len(str(total))
+    line = f"[{done:{width}d}/{total}] {record.status:<8s} {record.task_id:<28s} {record.wall_s:7.1f}s"
+    if record.attempts > 1:
+        line += f"  (attempt {record.attempts})"
+    if record.error:
+        line += "  " + record.error.strip().splitlines()[-1]
+    print(line, flush=True)
+
+
+def _headline(store: ResultStore, manifest: RunManifest) -> Dict[str, object]:
+    """Paper headline numbers pulled from the store, when their cells ran."""
+    headline: Dict[str, object] = {}
+    cell = manifest.cell("fig02/counts")
+    if cell is not None and cell.key:
+        payload = store.get(cell.key)
+        if payload:
+            for row in payload.get("rows", []):
+                if row.get("mode") == "sv39":
+                    headline["sv39_refs"] = {k: row[k] for k in ("pmp", "pmpt", "hpmp") if k in row}
+    cell = manifest.cell("fig13/counts")
+    if cell is not None and cell.key:
+        payload = store.get(cell.key)
+        if payload:
+            headline["virt_refs"] = {str(row.get("scheme")): row.get("refs") for row in payload.get("rows", [])}
+    return headline
+
+
+def bench_summary(manifest: RunManifest, store: ResultStore, generated_unix: Optional[float] = None) -> Dict[str, object]:
+    """The ``BENCH_summary.json`` payload for one campaign."""
+    telemetry = StatGroup("campaign")
+    for record in manifest.cells:
+        telemetry.merge(record.telemetry)
+    totals = manifest.totals()
+    executed = manifest.executed_wall_s()
+    return {
+        "bench": manifest.label,
+        "version": manifest.version,
+        "generated_unix": round(time.time() if generated_unix is None else generated_unix, 3),
+        "jobs": manifest.jobs,
+        "effective_jobs": manifest.effective_jobs,
+        "telemetry_level": manifest.telemetry,
+        "wall_s": round(manifest.wall_s, 3),
+        "cells": totals,
+        "sequential_equivalent_s": round(executed, 3),
+        "speedup_vs_sequential": round(executed / manifest.wall_s, 2) if manifest.wall_s > 0 else None,
+        "cell_wall_s": {c.task_id: round(c.wall_s, 3) for c in manifest.cells},
+        "failed_cells": [c.task_id for c in manifest.failed],
+        "headline": _headline(store, manifest),
+        "telemetry": telemetry.snapshot(),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+
+    tasks = campaign_tasks(args.filter)
+    if not tasks:
+        print(f"no campaign cells match filter(s): {', '.join(args.filter)}", file=sys.stderr)
+        return 2
+    if args.list_cells:
+        for task in tasks:
+            print(f"{task.task_id:<28s} {task.module}.{task.func}({json.dumps(dict(task.kwargs), sort_keys=True)})")
+        print(f"{len(tasks)} cells")
+        return 0
+
+    store = ResultStore(args.store)
+    pool = CampaignPool(
+        store,
+        jobs=args.jobs,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        label=args.label,
+        progress=_progress,
+        telemetry=args.telemetry,
+    )
+    if pool.effective_jobs < pool.jobs:
+        print(
+            f"note: --jobs {pool.jobs} clamped to {pool.effective_jobs} "
+            f"({available_cpus()} CPU(s) available; oversubscribing would only slow the campaign)"
+        )
+    manifest = pool.run(tasks, resume=args.resume)
+    if args.filter:
+        manifest.filters = list(args.filter)
+    manifest.save(args.manifest)
+    summary = bench_summary(manifest, store)
+    with open(args.summary, "w") as stream:
+        json.dump(summary, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+    totals = manifest.totals()
+    speed = summary["speedup_vs_sequential"]
+    print(
+        f"campaign: {totals['ok']} ok, {totals['cached']} cached, {totals['failed']} failed "
+        f"of {totals['cells']} cells in {manifest.wall_s:.1f}s"
+        + (f" ({speed}x vs sequential)" if speed else "")
+    )
+    print(f"manifest: {args.manifest}\nsummary:  {args.summary}\nstore:    {args.store} ({len(store)} entries)")
+    for record in manifest.failed:
+        tail = (record.error or "").strip().splitlines()
+        print(f"FAILED {record.task_id} ({record.status}): {tail[-1] if tail else 'no detail'}", file=sys.stderr)
+
+    exit_code = 1 if manifest.failed else 0
+    if args.baseline:
+        exit_code = max(exit_code, gate(args.baseline, manifest, store))
+    return exit_code

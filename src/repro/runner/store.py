@@ -1,0 +1,128 @@
+"""Content-addressed JSON results store under ``benchmarks/results/store``.
+
+Every campaign cell serializes its rows (plus engine telemetry) into one
+JSON document keyed by ``sha256(experiment id + shard + params + version)``.
+The version string folds in a digest of the package sources, so any code
+change invalidates the cache wholesale: a ``--resume`` hit therefore always
+means "same cell, same parameters, same code" — stale rows can never mask a
+regression.
+
+Writes are atomic (temp file + ``os.replace``) so parallel workers and an
+interrupted campaign cannot leave a torn entry behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional
+
+from ..common.stats import StatGroup
+from ..experiments.report import rows_digest, rows_to_jsonable
+from .tasks import TaskSpec
+
+#: Bumped when the payload layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Default store location, relative to the invoking directory (the repo root
+#: in CI and the documented workflows).
+DEFAULT_STORE_DIR = os.path.join("benchmarks", "results", "store")
+
+
+def code_version() -> str:
+    """``repro.__version__`` plus a short digest over the package sources.
+
+    Hashes every ``.py`` file under the installed ``repro`` package in a
+    path-sorted, content-delimited stream, so the result is stable across
+    machines and checkouts but changes whenever any source line does.
+    """
+    import repro
+
+    package_root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return f"{repro.__version__}+src.{digest.hexdigest()[:12]}"
+
+
+class ResultStore:
+    """A directory of ``<key>.json`` cell results, keyed by cell identity."""
+
+    def __init__(self, root: str = DEFAULT_STORE_DIR, version: Optional[str] = None):
+        self.root = Path(root)
+        self.version = version if version is not None else code_version()
+
+    # -- keys ----------------------------------------------------------------
+
+    def key_for(self, spec: TaskSpec) -> str:
+        """The content address of *spec*'s results under the current code."""
+        identity = dict(spec.identity())
+        identity["version"] = self.version
+        canonical = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:20]
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    # -- payloads ------------------------------------------------------------
+
+    def build_payload(self, spec: TaskSpec, rows: List[Mapping[str, object]], stats: Optional[StatGroup] = None) -> Dict[str, object]:
+        """Assemble the JSON document for one executed cell."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "task_id": spec.task_id,
+            "version": self.version,
+            **spec.identity(),
+            "rows": rows_to_jsonable(rows),
+            "rows_sha256": rows_digest(rows),
+            "telemetry": stats.to_payload() if stats is not None else None,
+        }
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """Load the payload for *key*, or None when absent/unreadable."""
+        path = self.path_for(key)
+        try:
+            with open(path) as stream:
+                payload = json.load(stream)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or payload.get("schema") != SCHEMA_VERSION:
+            return None
+        return payload
+
+    def put(self, key: str, payload: Mapping[str, object]) -> Path:
+        """Atomically write *payload* under *key*; returns the entry path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        fd, tmp = tempfile.mkstemp(dir=str(self.root), prefix=f".{key}.", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as stream:
+                json.dump(payload, stream, indent=2, sort_keys=True)
+                stream.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # -- enumeration ---------------------------------------------------------
+
+    def keys(self) -> List[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.json"))
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())

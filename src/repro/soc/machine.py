@@ -115,11 +115,11 @@ class Machine:
 
     @checker.setter
     def checker(self, checker: IsolationChecker) -> None:
-        self.engine.checker = checker
+        self.engine.set_checker(checker)
 
     def attach_checker(self, checker: IsolationChecker) -> None:
         """Install the isolation checker (flushes stale inlined permissions)."""
-        self.engine.checker = checker
+        self.engine.set_checker(checker)
         self.tlb.flush()
 
     def install_selfcheck(self):
@@ -128,8 +128,10 @@ class Machine:
         The validator (:class:`repro.verify.SelfCheckHook`) re-derives every
         data-reference permission through a side-effect-free functional
         lookup and raises :class:`~repro.common.errors.VerificationError` on
-        divergence.  Like any hook, installing it disables the inlined
-        TLB-hit fast path but never changes cycle or reference counts.
+        divergence.  Because it watches individual references, installing it
+        routes warm hits through the general path (access-level hooks keep
+        the inlined fast path) — but it never changes cycle or reference
+        counts.
         """
         from ..verify.selfcheck import SelfCheckHook  # local: avoid cycle
 
@@ -221,13 +223,16 @@ class Machine:
             entry is not None
             and entry.checker_perm is not None
             and self.params.tlb_inlining
-            and not engine.has_hooks
+            and not engine.wants_references
         ):
             # Inlined-hit fast path: translation and isolation both resolve
-            # inside the TLB entry, so no Account (and no engine dispatch)
-            # is needed — only the data reference is charged.  Observable
-            # state (stats keys, cache/TLB state, cycles) is identical to
-            # the general path below.
+            # inside the TLB entry, so no Account (and no per-reference
+            # engine dispatch) is needed — only the data reference is
+            # charged.  Observable state (stats keys, cache/TLB state,
+            # cycles, published events) is identical to the general path
+            # below: an inlined hit issues exactly one (data) reference, so
+            # only a hook that watches individual references forces the
+            # general path; access-level hooks are fed from right here.
             if not entry.perm.allows(access):
                 raise engine.fault(
                     PageFault(va, f"page permission {entry.perm} denies {access.value}")
@@ -244,6 +249,8 @@ class Machine:
             stats.bump("cycles", cycles)
             stats.bump("pt_refs", 0)
             stats.bump("checker_refs", 0)
+            if engine.wants_accesses:
+                engine.access_done(va, access, cycles, True, 1)
             return cycles, paddr, True, 0, 0
         acct = Account()
         if entry is None:
@@ -255,7 +262,7 @@ class Machine:
             if self.params.tlb_inlining:
                 entry.checker_perm = cost.perm
             self.tlb.fill(entry)
-            if engine.has_hooks:
+            if engine.wants_tlb_fills:
                 engine.tlb_filled(entry, "dtlb")
             tlb_hit = False
         else:
@@ -281,7 +288,7 @@ class Machine:
         stats.bump("cycles", cycles)
         stats.bump("pt_refs", acct.table_refs)
         stats.bump("checker_refs", acct.checker_refs)
-        if engine.has_hooks:
+        if engine.wants_accesses:
             engine.access_done(va, access, cycles, tlb_hit, acct.total_refs)
         return cycles, paddr, tlb_hit, acct.table_refs, acct.checker_refs
 

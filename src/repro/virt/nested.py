@@ -190,7 +190,7 @@ class VirtualMachine:
             vpn=gpa >> PAGE_SHIFT, ppn=(walk.paddr & ~PAGE_MASK) >> PAGE_SHIFT, perm=walk.perm, user=True
         )
         self.g_tlb.fill(entry)
-        if engine.has_hooks:
+        if engine.wants_tlb_fills:
             engine.tlb_filled(entry, "gstage")
         return walk.paddr
 
@@ -214,7 +214,7 @@ class VirtualMachine:
             cycles += acct.data_cycles
             stats.bump("tlb_hits")
             stats.bump("cycles", cycles)
-            if engine.has_hooks:
+            if engine.wants_accesses:
                 engine.access_done(gva, access, cycles, True, 1)
             return GuestAccessResult(cycles, hpa, True, 1, 0)
         try:
@@ -235,7 +235,7 @@ class VirtualMachine:
             user=True,
         )
         self.combined_tlb.fill(entry)
-        if engine.has_hooks:
+        if engine.wants_tlb_fills:
             engine.tlb_filled(entry, "combined")
         engine.data_ref(acct, hpa_data)
         cycles += acct.walk_cycles + acct.data_cycles
@@ -243,7 +243,7 @@ class VirtualMachine:
         stats.bump("cycles", cycles)
         stats.bump("refs", refs)
         stats.bump("checker_refs", acct.checker_refs)
-        if engine.has_hooks:
+        if engine.wants_accesses:
             engine.access_done(gva, access, cycles, False, refs)
         return GuestAccessResult(cycles, hpa_data, False, refs, acct.checker_refs)
 

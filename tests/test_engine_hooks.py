@@ -11,7 +11,7 @@ import pytest
 
 from repro.common.errors import PageFault
 from repro.common.types import PAGE_SIZE, AccessType, PrivilegeMode
-from repro.engine import HistogramHook, RecordingHook, RefKind
+from repro.engine import AccessStatsHook, EngineHook, HistogramHook, RecordingHook, RefKind
 from repro.soc.system import System
 from repro.virt.nested import GUEST_DRAM_BASE, VirtualMachine
 
@@ -141,6 +141,64 @@ class TestHooksNeverAlterTiming:
         assert result.pt_refs == stats["pt_refs"]
         assert result.checker_refs == stats["checker_refs"]
         assert result.tlb_hits == stats["accesses"] - stats["tlb_misses"]
+
+
+class TestPartitionedDispatch:
+    """The engine dispatches each callback only to hooks that override it."""
+
+    def test_partition_membership_tracks_overrides(self):
+        system, _ = make_system("pmpt")
+        engine = system.machine.engine
+        access_only = engine.install_hook(AccessStatsHook("t"))
+        assert engine.wants_accesses and not engine.wants_references
+        recording = engine.install_hook(RecordingHook())
+        assert engine.wants_references and engine.wants_tlb_fills
+        engine.remove_hook(recording)
+        assert not engine.wants_references  # partition rebuilt on removal
+        engine.remove_hook(access_only)
+        assert not engine.wants_accesses and not engine.has_hooks
+
+    def test_access_level_hook_keeps_fast_path_and_sees_every_access(self):
+        # An on_access-only hook must not force warm hits onto the general
+        # path — and must still be fed the completed access from the fast
+        # path itself.
+        system, space = make_system("pmpt")
+        hook = system.machine.engine.install_hook(AccessStatsHook("t"))
+        results = [system.access(space, VA) for _ in range(3)]  # 1 miss + 2 inlined hits
+        stats = hook.stats
+        assert stats["accesses"] == 3
+        assert stats["tlb_hits"] == 2
+        assert stats["cycles"] == sum(r.cycles for r in results)
+        assert stats["refs"] == sum(r.total_refs for r in results)
+
+    def test_access_level_hook_matches_full_hook_event_stream(self):
+        # Same workload observed through the fast path (AccessStatsHook) and
+        # the general path (HistogramHook): identical access-level counts.
+        a_system, a_space = make_system("pmpt")
+        light = a_system.machine.engine.install_hook(AccessStatsHook("t"))
+        b_system, b_space = make_system("pmpt")
+        full = b_system.machine.engine.install_hook(HistogramHook("t"))
+        for i in range(6):
+            va = VA + (i % 2) * PAGE_SIZE
+            assert a_system.access(a_space, va) == b_system.access(b_space, va)
+        assert light.stats["accesses"] == full.stats["accesses"] == 6
+        assert light.stats["tlb_hits"] == full.stats["tlb_hits"]
+        assert light.stats["cycles"] == full.stats.histogram("access_cycles").total
+
+    def test_on_checker_fires_at_install_and_attach(self):
+        seen = []
+
+        class CheckerWatcher(EngineHook):
+            def on_checker(self, checker):
+                seen.append(checker)
+
+        system, _ = make_system("pmp")
+        engine = system.machine.engine
+        engine.install_hook(CheckerWatcher())
+        assert seen == [engine.checker]  # install-time fire with current checker
+        replacement = engine.checker
+        system.machine.attach_checker(replacement)
+        assert seen == [replacement, replacement]
 
 
 class TestHistogramHook:
