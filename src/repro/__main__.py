@@ -7,6 +7,7 @@ Usage::
     python -m repro all --selfcheck
     python -m repro run --jobs 4 --filter fig02
     python -m repro verify --ops 2000 --seed 0 --scheme hpmp
+    python -m repro profile fig11/gap-rocket --json
 
 ``run`` orchestrates the campaign across a process pool
 (:mod:`repro.runner`); ``verify`` runs the differential fuzzers from
@@ -35,6 +36,7 @@ def _listing() -> str:
     lines.append("  all        run every experiment in sequence")
     lines.append("  run        orchestrate the campaign across a process pool (run --help)")
     lines.append("  verify     run the differential self-verification fuzzers (verify --help)")
+    lines.append("  profile    cProfile one experiment or campaign cell (profile --help)")
     lines.append("options: --selfcheck   shadow-validate every timed access")
     return "\n".join(lines)
 
@@ -96,6 +98,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .runner.cli import main as run_main
 
         return run_main(argv[1:])
+    if argv and argv[0] == "profile":
+        from .runner.profile import main as profile_main
+
+        return profile_main(argv[1:])
 
     parser = build_parser()
     try:

@@ -6,13 +6,21 @@ the hot path stays cheap.  A group can additionally own named
 :class:`Histogram` instances (power-of-two bucketed) for latency / reference
 distributions — these are only touched by the observability layer, never by
 the timed hot path, and both counters and histograms export to JSON.
+
+Hot components (caches, TLBs, checkers, the machine access path) do not even
+pay the ``Counter.__setitem__`` per event: they accumulate plain instance
+ints and register a *sync* callback on their group.  Every read of the group
+(``group[key]``, ``snapshot``, ``ratio``, iteration, export) first invokes
+the callback, which publishes the pending deltas — so readers always observe
+exact, up-to-date counts while the per-event cost on the timed path is a
+single integer add.
 """
 
 from __future__ import annotations
 
 import json
 from collections import Counter
-from typing import Dict, Iterator, List, Mapping, Optional, Union
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Union
 
 
 class Histogram:
@@ -150,6 +158,11 @@ class Histogram:
 class StatGroup:
     """A named group of monotonically increasing counters (plus histograms).
 
+    A *sync* callback (see :meth:`set_sync`) lets the owning component defer
+    its hot-path counting to plain instance ints: the callback runs before
+    any read and publishes the pending deltas with :meth:`bump`, so every
+    observer still sees exact counts.
+
     >>> s = StatGroup("tlb")
     >>> s.bump("hit"); s.bump("miss", 2)
     >>> s["hit"], s["miss"]
@@ -158,23 +171,41 @@ class StatGroup:
     0.3333
     """
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, sync: Optional[Callable[[], None]] = None):
         self.name = name
         self._counters: Counter = Counter()
         self._histograms: Dict[str, Histogram] = {}
+        self._sync = sync
+
+    def set_sync(self, sync: Optional[Callable[[], None]]) -> None:
+        """Install the deferred-counter publisher invoked before reads."""
+        self._sync = sync
+
+    def _synchronize(self) -> None:
+        """Run the sync callback (re-entrancy safe: bump() never re-syncs)."""
+        sync = self._sync
+        if sync is not None:
+            self._sync = None  # a callback reading its own group must not recurse
+            try:
+                sync()
+            finally:
+                self._sync = sync
 
     def bump(self, key: str, amount: int = 1) -> None:
         """Increase counter *key* by *amount*."""
         self._counters[key] += amount
 
     def __getitem__(self, key: str) -> int:
+        self._synchronize()
         return self._counters.get(key, 0)
 
     def __iter__(self) -> Iterator[str]:
+        self._synchronize()
         return iter(self._counters)
 
     def ratio(self, numerator: str, *others: str) -> float:
         """Return numerator / (numerator + sum(others)); 0.0 if empty."""
+        self._synchronize()
         num = self._counters.get(numerator, 0)
         total = num + sum(self._counters.get(o, 0) for o in others)
         if total == 0:
@@ -201,13 +232,20 @@ class StatGroup:
     # -- lifecycle -----------------------------------------------------------
 
     def reset(self) -> None:
-        """Zero every counter and histogram."""
+        """Zero every counter and histogram.
+
+        Synchronizes first so deferred deltas held by the owner are pulled
+        in (and thereby zeroed at the source) before being discarded — a
+        reset starts a genuinely fresh epoch.
+        """
+        self._synchronize()
         self._counters.clear()
         for hist in self._histograms.values():
             hist.reset()
 
     def snapshot(self) -> Dict[str, int]:
         """Return a plain-dict copy of the counters."""
+        self._synchronize()
         return dict(self._counters)
 
     def merge(self, other: Mapping[str, int]) -> None:
@@ -217,6 +255,7 @@ class StatGroup:
 
     def to_payload(self) -> Dict[str, object]:
         """JSON-safe dict of counters plus histogram snapshots."""
+        self._synchronize()
         return {
             "name": self.name,
             "counters": dict(self._counters),
@@ -237,5 +276,6 @@ class StatGroup:
         return json.dumps(self.to_payload(), indent=indent, sort_keys=True)
 
     def __repr__(self) -> str:
+        self._synchronize()
         body = ", ".join(f"{k}={v}" for k, v in sorted(self._counters.items()))
         return f"StatGroup({self.name}: {body})"

@@ -61,6 +61,14 @@ class Account:
     ``walk_cycles`` collects translation latency (PT/NPT/guest-PT reads,
     checker work, TLB-structure probes charged by callers) so cores can
     apply out-of-order overlap to it separately from ``data_cycles``.
+
+    Accounts are designed to be **pooled**: callers that price millions of
+    accesses (the machine and VM hot paths) keep one instance and call
+    :meth:`reset` instead of allocating per access.  The reset contract is
+    that an account is fully re-zeroed — every field an access can read is
+    restored to its initial state — and that a pooled account is never
+    retained past the access it priced (nothing in the engine or its hooks
+    holds an Account reference).
     """
 
     __slots__ = ("walk_cycles", "data_cycles", "table_refs", "checker_refs", "data_refs")
@@ -71,6 +79,15 @@ class Account:
         self.table_refs = 0
         self.checker_refs = 0
         self.data_refs = 0
+
+    def reset(self) -> "Account":
+        """Zero every accumulator; returns self (for pooled reuse)."""
+        self.walk_cycles = 0
+        self.data_cycles = 0
+        self.table_refs = 0
+        self.checker_refs = 0
+        self.data_refs = 0
+        return self
 
     @property
     def total_refs(self) -> int:
@@ -111,6 +128,8 @@ class ReferenceEngine:
     __slots__ = (
         "hierarchy",
         "checker",
+        "_check",
+        "_charge",
         "_hooks",
         "_ref_hooks",
         "_access_hooks",
@@ -122,6 +141,11 @@ class ReferenceEngine:
     def __init__(self, hierarchy: MemoryHierarchy, checker: IsolationChecker):
         self.hierarchy = hierarchy
         self.checker = checker
+        # Hot-path bindings: the check and charge stages are invoked per
+        # reference, so their bound methods are resolved once here (and in
+        # set_checker) instead of via two attribute chains per call.
+        self._check = checker.check
+        self._charge = hierarchy.access
         self._hooks: Tuple[EngineHook, ...] = ()
         self._ref_hooks: Tuple[EngineHook, ...] = ()
         self._access_hooks: Tuple[EngineHook, ...] = ()
@@ -170,6 +194,7 @@ class ReferenceEngine:
         :mod:`repro.runner` depends on it.
         """
         self.checker = checker
+        self._check = checker.check
         for hook in self._checker_hooks:
             hook.on_checker(checker)
 
@@ -225,14 +250,14 @@ class ReferenceEngine:
         fault_hooks = self._fault_hooks
         if fault_hooks:
             try:
-                cost = self.checker.check(paddr, _READ, priv)
+                cost = self._check(paddr, _READ, priv)
             except BaseException as exc:
                 for hook in fault_hooks:
                     hook.on_fault(exc)
                 raise
         else:
-            cost = self.checker.check(paddr, _READ, priv)
-        charged = self.hierarchy.access(paddr)
+            cost = self._check(paddr, _READ, priv)
+        charged = self._charge(paddr)
         acct.walk_cycles += cost.cycles + charged
         acct.checker_refs += cost.refs
         acct.table_refs += 1
@@ -259,13 +284,13 @@ class ReferenceEngine:
         fault_hooks = self._fault_hooks
         if fault_hooks:
             try:
-                cost = self.checker.check(paddr, access, priv)
+                cost = self._check(paddr, access, priv)
             except BaseException as exc:
                 for hook in fault_hooks:
                     hook.on_fault(exc)
                 raise
         else:
-            cost = self.checker.check(paddr, access, priv)
+            cost = self._check(paddr, access, priv)
         acct.walk_cycles += cost.cycles
         acct.checker_refs += cost.refs
         if self._ref_hooks:
@@ -274,7 +299,7 @@ class ReferenceEngine:
 
     def data_ref(self, acct: Account, paddr: int, instruction: bool = False) -> int:
         """Charge the data reference itself; returns the cycles charged."""
-        charged = self.hierarchy.access(paddr, instruction=instruction)
+        charged = self._charge(paddr, instruction=instruction)
         acct.data_cycles += charged
         acct.data_refs += 1
         hooks = self._ref_hooks

@@ -201,7 +201,24 @@ class GPCChecker:
     def __init__(self, hierarchy: Optional[MemoryHierarchy] = None):
         self.hierarchy = hierarchy
         self.regions: List[GPTRegionRegister] = []
-        self.stats = StatGroup("gpc")
+        # Deferred check counters (published into ``stats`` on read):
+        # ``check`` runs once per granule access in the CCA experiments.
+        self._s_checks = 0
+        self._s_gpt_refs = 0
+        self._s_faults = 0
+        self.stats = StatGroup("gpc", sync=self._publish_stats)
+
+    def _publish_stats(self) -> None:
+        """Sync point: fold pending GPC outcomes into the StatGroup."""
+        if self._s_checks:
+            self.stats.bump("checks", self._s_checks)
+            self._s_checks = 0
+        if self._s_gpt_refs:
+            self.stats.bump("gpt_refs", self._s_gpt_refs)
+            self._s_gpt_refs = 0
+        if self._s_faults:
+            self.stats.bump("faults", self._s_faults)
+            self._s_faults = 0
 
     def add_region(self, register: GPTRegionRegister) -> None:
         self.regions.append(register)
@@ -209,7 +226,7 @@ class GPCChecker:
     def check(self, paddr: int, world: PAS) -> Tuple[int, int]:
         """Validate an access from security state *world*; returns
         (cycles, descriptor refs).  Raises AccessFault on mismatch."""
-        self.stats.bump("checks")
+        self._s_checks += 1
         for register in self.regions:
             if not register.region.contains(paddr):
                 continue
@@ -220,13 +237,14 @@ class GPCChecker:
                 pas, addrs = register.gpt.lookup(paddr)
                 refs = len(addrs)
                 cycles = 0
-                for addr in addrs:
-                    if self.hierarchy is not None:
-                        cycles += self.hierarchy.access(addr)
-                self.stats.bump("gpt_refs", refs)
+                hierarchy_access = self.hierarchy.access if self.hierarchy is not None else None
+                if hierarchy_access is not None:
+                    for addr in addrs:
+                        cycles += hierarchy_access(addr)
+                self._s_gpt_refs += refs
             if pas in (world, PAS.ANY):
                 return cycles, refs
-            self.stats.bump("faults")
+            self._s_faults += 1
             raise AccessFault(paddr, "gpc", f"granule PAS {pas.name} != world {world.name}")
-        self.stats.bump("faults")
+        self._s_faults += 1
         raise AccessFault(paddr, "gpc", "no GPT region covers this address")

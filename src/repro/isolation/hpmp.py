@@ -56,16 +56,29 @@ class PMPTWCache:
     def __init__(self, entries: int = 8):
         self.capacity = entries
         self._entries: OrderedDict = OrderedDict()
-        self.stats = StatGroup("pmptw_cache")
+        # Deferred hit/miss counts, published into ``stats`` on read
+        # (probe runs once per pmpte on every table walk).
+        self._s_hits = 0
+        self._s_misses = 0
+        self.stats = StatGroup("pmptw_cache", sync=self._publish_stats)
+
+    def _publish_stats(self) -> None:
+        """Sync point: fold pending probe outcomes into the StatGroup."""
+        if self._s_hits:
+            self.stats.bump("hit", self._s_hits)
+            self._s_hits = 0
+        if self._s_misses:
+            self.stats.bump("miss", self._s_misses)
+            self._s_misses = 0
 
     def probe(self, pmpte_addr: int) -> bool:
         if self.capacity == 0:
             return False
         if pmpte_addr in self._entries:
             self._entries.move_to_end(pmpte_addr)
-            self.stats.bump("hit")
+            self._s_hits += 1
             return True
-        self.stats.bump("miss")
+        self._s_misses += 1
         return False
 
     def insert(self, pmpte_addr: int) -> None:
@@ -153,7 +166,35 @@ class HPMPChecker:
         self.regfile = regfile if regfile is not None else HPMPRegisterFile()
         self.hierarchy = hierarchy
         self.pmptw_cache = PMPTWCache(pmptw_cache_entries if pmptw_cache_enabled else 0)
-        self.stats = StatGroup(name)
+        # Deferred hot-path counters (published into ``stats`` on read):
+        # ``check`` runs once per timed reference under table-backed configs.
+        self._s_checks = 0
+        self._s_faults = 0
+        self._s_seg_checks = 0
+        self._s_table_walks = 0
+        self._s_pmpte_refs = 0
+        self.stats = StatGroup(name, sync=self._publish_stats)
+
+    def _publish_stats(self) -> None:
+        """Sync point: fold pending check/walk deltas into the StatGroup.
+
+        ``table_walks`` and ``pmpte_refs`` publish together (the eager code
+        bumped them as a pair, materializing ``pmpte_refs`` even at 0).
+        """
+        if self._s_checks:
+            self.stats.bump("checks", self._s_checks)
+            self._s_checks = 0
+        if self._s_faults:
+            self.stats.bump("faults", self._s_faults)
+            self._s_faults = 0
+        if self._s_seg_checks:
+            self.stats.bump("seg_checks", self._s_seg_checks)
+            self._s_seg_checks = 0
+        if self._s_table_walks:
+            self.stats.bump("table_walks", self._s_table_walks)
+            self._s_table_walks = 0
+            self.stats.bump("pmpte_refs", self._s_pmpte_refs)
+            self._s_pmpte_refs = 0
 
     def _walk_table(self, index: int, paddr: int) -> CheckCost:
         """Walk the PMP table bound to entry *index* for *paddr*."""
@@ -161,16 +202,18 @@ class HPMPChecker:
         lookup = table.lookup(paddr)
         cycles = 0
         refs = 0
+        pmptw_cache = self.pmptw_cache
+        hierarchy_access = self.hierarchy.access if self.hierarchy is not None else None
         for pmpte_addr in lookup.pmpte_addrs:
-            if self.pmptw_cache.probe(pmpte_addr):
+            if pmptw_cache.probe(pmpte_addr):
                 cycles += PMPTW_CACHE_HIT_CYCLES
                 continue
             refs += 1
-            if self.hierarchy is not None:
-                cycles += self.hierarchy.access(pmpte_addr)
-            self.pmptw_cache.insert(pmpte_addr)
-        self.stats.bump("table_walks")
-        self.stats.bump("pmpte_refs", refs)
+            if hierarchy_access is not None:
+                cycles += hierarchy_access(pmpte_addr)
+            pmptw_cache.insert(pmpte_addr)
+        self._s_table_walks += 1
+        self._s_pmpte_refs += refs
         if lookup.perm is None:
             raise AccessFault(paddr, "walk", f"invalid pmpte in table of entry {index}")
         return CheckCost(cycles, refs, lookup.perm)
@@ -189,7 +232,7 @@ class HPMPChecker:
                 return self._walk_table(index, paddr)
             except AccessFault:
                 return None
-        self.stats.bump("seg_checks")
+        self._s_seg_checks += 1
         return CheckCost(0, 0, entry.perm)
 
     def check(
@@ -199,10 +242,10 @@ class HPMPChecker:
         priv: PrivilegeMode = PrivilegeMode.SUPERVISOR,
     ) -> CheckCost:
         """Validate the access; raise :class:`AccessFault` if denied."""
-        self.stats.bump("checks")
+        self._s_checks += 1
         cost = self._resolve(paddr, priv)
         if cost is None or not cost.perm.allows(access):
-            self.stats.bump("faults")
+            self._s_faults += 1
             raise AccessFault(paddr, access.value, f"{self.name} denied ({priv.name})")
         return cost
 

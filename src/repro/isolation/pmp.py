@@ -15,6 +15,7 @@ HPMP (:mod:`repro.isolation.hpmp`) extends this register file with the
 from __future__ import annotations
 
 import enum
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -110,6 +111,15 @@ class PMPRegisterFile:
             raise ConfigurationError("PMP needs at least one entry")
         self.entries: List[PMPEntry] = [PMPEntry() for _ in range(num_entries)]
         self._decoded: Optional[List[Tuple[MemRegion, int]]] = None
+        # Precomputed sorted-range match table (see _match_table): built
+        # lazily, invalidated with _decoded on every entry write.  Building
+        # it only pays off once several matches happen against the same
+        # programming, so reprogram-heavy phases (domain switches, enclave
+        # create/destroy) stay on the linear scan until the register file
+        # settles.
+        self._bounds: Optional[List[int]] = None
+        self._winners: List[int] = []
+        self._matches_since_write = 0
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -120,6 +130,8 @@ class PMPRegisterFile:
             raise ConfigurationError(f"PMP entry {index} is locked")
         self.entries[index] = entry
         self._decoded = None
+        self._bounds = None
+        self._matches_since_write = 0
 
     def clear_entry(self, index: int) -> None:
         self.set_entry(index, PMPEntry())
@@ -150,13 +162,61 @@ class PMPRegisterFile:
                     self._decoded.append((region, index))
         return self._decoded
 
+    def _match_table(self) -> Tuple[List[int], List[int]]:
+        """The precomputed sorted-range table: ``(bounds, winners)``.
+
+        Every region edge becomes a boundary; between two consecutive
+        boundaries no region starts or ends, so each *elementary interval*
+        is either fully inside or fully outside every decoded region.  The
+        winning (lowest-numbered) entry is therefore a constant per
+        interval, computed once here; ``match`` reduces to one bisect.
+        ``winners[i]`` covers ``bounds[i] <= paddr < bounds[i+1]`` and is
+        -1 where no entry matches.
+        """
+        if self._bounds is None:
+            regions = self._decoded_regions()
+            points = sorted({edge for region, _ in regions for edge in (region.base, region.end)})
+            winners: List[int] = []
+            for i in range(len(points) - 1):
+                low = points[i]
+                winner = -1
+                for region, index in regions:
+                    if region.base <= low < region.end:
+                        winner = index
+                        break
+                winners.append(winner)
+            self._bounds = points
+            self._winners = winners
+        return self._bounds, self._winners
+
     def match(self, paddr: int, size: int = 8) -> Optional[int]:
         """Index of the lowest-numbered entry covering the access, or None.
 
         Per the spec, an access that only partially matches an entry fails;
         we treat partial overlap as a match that will then be permission-
         checked (and our monitor never creates partial overlaps).
+
+        The common case — the access sits inside one elementary interval of
+        the sorted-range table — resolves with a single bisect.  Accesses
+        spanning a boundary (possible only when region edges are not
+        access-aligned) fall back to the generic priority scan, which is the
+        semantic reference.
         """
+        if self._bounds is None:
+            # Don't rebuild the table for a programming that may be gone
+            # after a handful of checks; the linear scan is cheaper until
+            # the same register-file state has served several matches.
+            if self._matches_since_write < 16:
+                self._matches_since_write += 1
+                for region, index in self._decoded_regions():
+                    if region.contains(paddr, size):
+                        return index
+                return None
+        bounds, winners = self._match_table()
+        slot = bisect_right(bounds, paddr) - 1
+        if 0 <= slot < len(winners) and paddr + size <= bounds[slot + 1]:
+            winner = winners[slot]
+            return winner if winner >= 0 else None
         for region, index in self._decoded_regions():
             if region.contains(paddr, size):
                 return index
@@ -174,7 +234,20 @@ class PMPChecker:
 
     def __init__(self, regfile: Optional[PMPRegisterFile] = None):
         self.regfile = regfile if regfile is not None else PMPRegisterFile()
-        self.stats = StatGroup("pmp")
+        # Deferred check/fault counts (published into ``stats`` on read):
+        # ``check`` runs once per untimed reference on the segment fast path.
+        self._s_checks = 0
+        self._s_faults = 0
+        self.stats = StatGroup("pmp", sync=self._publish_stats)
+
+    def _publish_stats(self) -> None:
+        """Sync point: fold pending check outcomes into the StatGroup."""
+        if self._s_checks:
+            self.stats.bump("checks", self._s_checks)
+            self._s_checks = 0
+        if self._s_faults:
+            self.stats.bump("faults", self._s_faults)
+            self._s_faults = 0
 
     def _matched_perm(
         self, paddr: int, priv: PrivilegeMode
@@ -195,10 +268,10 @@ class PMPChecker:
         priv: PrivilegeMode = PrivilegeMode.SUPERVISOR,
     ) -> CheckCost:
         """Validate the access; segment checks cost no memory references."""
-        self.stats.bump("checks")
+        self._s_checks += 1
         perm = self._matched_perm(paddr, priv)
         if perm is None or not perm.allows(access):
-            self.stats.bump("faults")
+            self._s_faults += 1
             raise AccessFault(paddr, access.value, f"PMP denied ({priv.name})")
         return CheckCost(0, 0, perm)
 

@@ -22,7 +22,7 @@ top level of 512 pointers, 8 TiB coverage, using a reserved Mode value) and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..common.errors import ConfigurationError
 from ..common.types import PAGE_SHIFT, PAGE_SIZE, MemRegion, Permission
@@ -175,6 +175,9 @@ class PMPTable:
         self.mode = mode
         self.table_pages: List[int] = []
         self.entry_writes = 0  # total 64-bit pmpte writes (monitor charges these)
+        # page -> (TableLookup, pmpte words) memo for lookup(); reuse is
+        # validated against memory, so writes invalidate implicitly.
+        self._lookup_cache: Dict[int, Tuple[TableLookup, Tuple[int, ...]]] = {}
         if mode == MODE_FLAT:
             num_ptes = (region.size + LEAF_PTE_SPAN - 1) // LEAF_PTE_SPAN
             num_frames = max(1, (num_ptes * 8 + PAGE_SIZE - 1) // PAGE_SIZE)
@@ -340,7 +343,32 @@ class PMPTable:
     # -- lookup -------------------------------------------------------------
 
     def lookup(self, paddr: int) -> TableLookup:
-        """Functional walk: permission for *paddr* plus the pmpte PAs read."""
+        """Functional walk: permission for *paddr* plus the pmpte PAs read.
+
+        Results are memoised per page and validated on reuse against the
+        pmpte words they were derived from, so monitor writes (or table
+        page recycling) can never serve a stale permission — the timed
+        walker still charges every pmpte reference itself.
+        """
+        page = paddr >> PAGE_SHIFT
+        cached = self._lookup_cache.get(page)
+        if cached is not None:
+            result, values = cached
+            words = self.memory._words
+            for addr, value in zip(result.pmpte_addrs, values):
+                if words.get(addr, 0) != value:
+                    break
+            else:
+                return result
+        result = self._lookup_uncached(paddr)
+        words = self.memory._words
+        self._lookup_cache[page] = (
+            result,
+            tuple(words.get(addr, 0) for addr in result.pmpte_addrs),
+        )
+        return result
+
+    def _lookup_uncached(self, paddr: int) -> TableLookup:
         offset = self._offset(paddr)
         addrs: List[int] = []
         if self.mode == MODE_FLAT:

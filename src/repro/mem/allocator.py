@@ -9,7 +9,7 @@ deliberately scattered order, which is how the fragmentation experiments
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Set
+from typing import Dict, List, Optional, Set
 
 from ..common.errors import MemoryError_
 from ..common.types import PAGE_SIZE, MemRegion
@@ -33,28 +33,50 @@ class FrameAllocator:
         if region.base % PAGE_SIZE or region.size % PAGE_SIZE:
             raise MemoryError_(f"allocator region {region} not page aligned")
         self.region = region
-        self._free: List[int] = list(range(region.base, region.end, PAGE_SIZE))
+        self._free: List[Optional[int]] = list(range(region.base, region.end, PAGE_SIZE))
         if scatter:
             random.Random(seed).shuffle(self._free)
         self._free.reverse()  # pop() then yields ascending (or shuffled) order
+        # The free list is the source of truth for *order* (pop / scattered
+        # draws); the position index makes membership and mid-list removal
+        # O(1).  Removals tombstone their slot with None instead of rebuilding
+        # the list; tombstones are skipped on pop and squeezed out before any
+        # index-sensitive operation, which preserves the exact order (and
+        # therefore the exact allocation sequence) of the rebuild-every-call
+        # implementation this replaces.
+        self._pos: Dict[int, int] = {frame: i for i, frame in enumerate(self._free)}
+        self._tombstones = 0
+        # No free frame lies below the scan floor, so contiguous scans can
+        # start there instead of at the region base.  Only free() lowers it.
+        self._scan_floor = region.base
         self._allocated: Set[int] = set()
         self._rng = random.Random(seed ^ 0x5EED)
 
     @property
     def free_frames(self) -> int:
-        return len(self._free)
+        return len(self._pos)
 
     @property
     def allocated_frames(self) -> int:
         return len(self._allocated)
 
+    def _compact(self) -> None:
+        """Squeeze tombstones out of the free list (live order is preserved)."""
+        self._free = [frame for frame in self._free if frame is not None]
+        self._pos = {frame: i for i, frame in enumerate(self._free)}
+        self._tombstones = 0
+
     def alloc(self) -> int:
         """Allocate one frame; returns its base PA."""
-        if not self._free:
-            raise MemoryError_(f"frame allocator exhausted ({self.region})")
-        frame = self._free.pop()
-        self._allocated.add(frame)
-        return frame
+        pop = self._free.pop
+        while self._free:
+            frame = pop()
+            if frame is not None:
+                del self._pos[frame]
+                self._allocated.add(frame)
+                return frame
+            self._tombstones -= 1
+        raise MemoryError_(f"frame allocator exhausted ({self.region})")
 
     def alloc_scattered(self) -> int:
         """Allocate one frame from a pseudo-random free-list position.
@@ -63,35 +85,62 @@ class FrameAllocator:
         by churn — used for page-table pages in unmodified-kernel baselines,
         whose PT pages end up dispersed through DRAM.
         """
-        if not self._free:
+        if not self._pos:
             raise MemoryError_(f"frame allocator exhausted ({self.region})")
+        if self._tombstones:
+            self._compact()  # randrange must see the exact live list
         index = self._rng.randrange(len(self._free))
-        self._free[index], self._free[-1] = self._free[-1], self._free[index]
-        frame = self._free.pop()
+        frame = self._free[index]
+        moved = self._free[-1]
+        self._free[index] = moved
+        self._free.pop()
+        if moved != frame:
+            self._pos[moved] = index
+        del self._pos[frame]
         self._allocated.add(frame)
         return frame
 
     def alloc_contiguous(self, num_frames: int, align_frames: int = 1) -> int:
         """Allocate *num_frames* physically contiguous frames; return base PA.
 
-        Scans the free list for a contiguous run (optionally aligned to
-        *align_frames* frames, for NAPOT-shaped regions), so it works even on
-        a scattered allocator (at O(free) cost) — mirroring an OS falling
-        back to compaction/CMA for contiguous requests.
+        First-fit over aligned bases (optionally aligned to *align_frames*
+        frames, for NAPOT-shaped regions), so it works even on a scattered
+        allocator — mirroring an OS falling back to compaction/CMA for
+        contiguous requests.  Returns the lowest suitably aligned base whose
+        whole run is free, exactly like a full scan from the region base.
         """
         if num_frames <= 0:
             raise MemoryError_("alloc_contiguous needs a positive frame count")
         if align_frames <= 0:
             raise MemoryError_("align_frames must be positive")
         step = align_frames * PAGE_SIZE
-        free_set = set(self._free)
-        first_aligned = (self.region.base + step - 1) // step * step
-        for base in range(first_aligned, self.region.end - num_frames * PAGE_SIZE + 1, step):
-            if all(base + i * PAGE_SIZE in free_set for i in range(num_frames)):
-                wanted = {base + i * PAGE_SIZE for i in range(num_frames)}
-                self._free = [f for f in self._free if f not in wanted]
-                self._allocated |= wanted
+        pos = self._pos
+        # Advance the floor over frames that are (still) allocated; every
+        # candidate base below the first free frame would fail on its first
+        # frame anyway.
+        floor = self._scan_floor
+        region_end = self.region.end
+        while floor < region_end and floor not in pos:
+            floor += PAGE_SIZE
+        self._scan_floor = floor
+        base = (floor + step - 1) // step * step
+        limit = region_end - num_frames * PAGE_SIZE
+        while base <= limit:
+            frame = base
+            run_end = base + num_frames * PAGE_SIZE
+            while frame < run_end and frame in pos:
+                frame += PAGE_SIZE
+            if frame == run_end:
+                free = self._free
+                for taken in range(base, run_end, PAGE_SIZE):
+                    free[pos.pop(taken)] = None
+                self._tombstones += num_frames
+                self._allocated.update(range(base, run_end, PAGE_SIZE))
+                if self._tombstones * 2 > len(free):
+                    self._compact()
                 return base
+            # The run broke at `frame`: no base at or below it can work.
+            base = (frame + PAGE_SIZE + step - 1) // step * step
         raise MemoryError_(f"no contiguous run of {num_frames} frames in {self.region}")
 
     def free(self, frame: int) -> None:
@@ -99,16 +148,24 @@ class FrameAllocator:
         if frame not in self._allocated:
             raise MemoryError_(f"double free / foreign frame {frame:#x}")
         self._allocated.discard(frame)
+        self._pos[frame] = len(self._free)
         self._free.append(frame)
+        if frame < self._scan_floor:
+            self._scan_floor = frame
 
     def reserve(self, base: int, size: int) -> None:
         """Remove ``[base, base+size)`` from the pool (e.g. monitor memory)."""
         wanted = set(range(base, base + size, PAGE_SIZE))
-        missing = wanted - set(self._free)
+        missing = wanted - self._pos.keys()
         if missing:
             raise MemoryError_(f"reserve: {len(missing)} frames not free (first {min(missing):#x})")
-        self._free = [f for f in self._free if f not in wanted]
+        free = self._free
+        for frame in wanted:
+            free[self._pos.pop(frame)] = None
+        self._tombstones += len(wanted)
         self._allocated |= wanted
+        if self._tombstones * 2 > len(free):
+            self._compact()
 
     def owns(self, frame: int) -> Optional[bool]:
         """True if allocated, False if free, None if outside the region."""

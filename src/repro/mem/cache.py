@@ -2,14 +2,22 @@
 
 The cache tracks which line addresses are resident (tags only — data lives in
 :class:`repro.mem.physical.PhysicalMemory`).  ``probe`` answers hit/miss,
-``insert`` fills a line and returns the victim tag if one was evicted.
+``insert`` fills a line and returns the victim tag if one was evicted, and
+``lookup_fill`` fuses the two for the hierarchy's per-reference hot path.
 Replacement is true LRU by default; ``random`` is available for ablations.
+
+Hot-path engineering (see DESIGN.md "Hot path engineering"): each set is a
+flat Python list of line addresses ordered MRU-first — for the small
+associativities real caches use (2–16 ways), a C-level ``list.index`` scan
+plus a move-to-front beats an ``OrderedDict`` probe, and the fused
+``lookup_fill`` touches the set exactly once per reference.  Hit/miss/
+eviction counts accumulate in plain instance ints and are published into the
+:class:`~repro.common.stats.StatGroup` only when somebody reads it.
 """
 
 from __future__ import annotations
 
 import random as _random
-from collections import OrderedDict
 from typing import List, Optional
 
 from ..common.errors import ConfigurationError
@@ -46,12 +54,32 @@ class Cache:
         if replacement not in ("lru", "random"):
             raise ConfigurationError(f"unknown replacement policy {replacement!r}")
         self._replacement = replacement
+        self._lru = replacement == "lru"
         self._rng = _random.Random(seed)
         self._line_shift = params.line_bytes.bit_length() - 1
         self._set_mask = self.num_sets - 1
-        # One OrderedDict per set: line_addr -> None, most recently used last.
-        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
-        self.stats = StatGroup(params.name)
+        self._ways = params.ways
+        # One flat list per set: line addresses, most recently used FIRST.
+        # (Index 0 is the MRU line, the last element is the LRU victim.)
+        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        # Deferred statistics: the timed path adds to these plain ints; they
+        # are published into ``stats`` by the sync callback on any read.
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self.stats = StatGroup(params.name, sync=self._publish_stats)
+
+    def _publish_stats(self) -> None:
+        """Sync point: fold the pending hot-path deltas into the StatGroup."""
+        if self._hits:
+            self.stats.bump("hit", self._hits)
+            self._hits = 0
+        if self._misses:
+            self.stats.bump("miss", self._misses)
+            self._misses = 0
+        if self._evictions:
+            self.stats.bump("eviction", self._evictions)
+            self._evictions = 0
 
     def _index(self, paddr: int) -> int:
         return (paddr >> self._line_shift) & self._set_mask
@@ -60,47 +88,99 @@ class Cache:
         """The line-aligned address containing *paddr*."""
         return paddr >> self._line_shift << self._line_shift
 
-    def probe(self, paddr: int, update_lru: bool = True) -> bool:
-        """Return True (hit) if the line holding *paddr* is resident."""
-        # Hot path: inline line_addr()/_index() to avoid two calls per probe.
+    def _evict(self, cset: List[int]) -> int:
+        """Drop and return one resident line of a full set."""
+        if self._lru:
+            victim = cset.pop()
+        else:
+            # Preserve the historical draw: the OrderedDict implementation
+            # picked uniformly over LRU→MRU order, i.e. our list reversed.
+            victim = self._rng.choice(cset[::-1])
+            cset.remove(victim)
+        self._evictions += 1
+        return victim
+
+    def lookup_fill(self, paddr: int) -> bool:
+        """Fused probe+insert: return True on hit, fill (evicting) on miss.
+
+        This is the hierarchy's per-reference primitive — one set lookup
+        decides hit/miss, updates recency, and installs the line, so a miss
+        never pays a second residency check the way ``probe`` + ``insert``
+        would.  State and counters end up exactly as the unfused pair leaves
+        them.
+        """
         shifted = paddr >> self._line_shift
         line = shifted << self._line_shift
         cset = self._sets[shifted & self._set_mask]
-        if line in cset:
-            if update_lru:
-                cset.move_to_end(line)
-            self.stats.bump("hit")
-            return True
-        self.stats.bump("miss")
+        if cset:
+            if cset[0] == line:  # MRU hit: the common case costs one compare
+                self._hits += 1
+                return True
+            try:
+                index = cset.index(line, 1)
+            except ValueError:
+                pass
+            else:
+                del cset[index]
+                cset.insert(0, line)
+                self._hits += 1
+                return True
+        self._misses += 1
+        if len(cset) >= self._ways:
+            self._evict(cset)
+        cset.insert(0, line)
         return False
+
+    def probe(self, paddr: int, update_lru: bool = True) -> bool:
+        """Return True (hit) if the line holding *paddr* is resident.
+
+        With ``update_lru=False`` this is a pure peek: neither recency nor
+        any statistic changes (``MemoryHierarchy.peek_latency`` depends on
+        that contract).
+        """
+        shifted = paddr >> self._line_shift
+        line = shifted << self._line_shift
+        cset = self._sets[shifted & self._set_mask]
+        if not update_lru:
+            return line in cset
+        try:
+            index = cset.index(line)
+        except ValueError:
+            self._misses += 1
+            return False
+        if index:
+            del cset[index]
+            cset.insert(0, line)
+        self._hits += 1
+        return True
 
     def insert(self, paddr: int) -> Optional[int]:
         """Fill the line holding *paddr*; return the evicted line address, if any."""
         shifted = paddr >> self._line_shift
         line = shifted << self._line_shift
         cset = self._sets[shifted & self._set_mask]
-        if line in cset:
-            cset.move_to_end(line)
-            return None
-        victim: Optional[int] = None
-        if len(cset) >= self.params.ways:
-            if self._replacement == "lru":
-                victim, _ = cset.popitem(last=False)
-            else:
-                victim = self._rng.choice(list(cset))
-                del cset[victim]
-            self.stats.bump("eviction")
-        cset[line] = None
-        return victim
+        try:
+            index = cset.index(line)
+        except ValueError:
+            victim: Optional[int] = None
+            if len(cset) >= self._ways:
+                victim = self._evict(cset)
+            cset.insert(0, line)
+            return victim
+        if index:
+            del cset[index]
+            cset.insert(0, line)
+        return None
 
     def invalidate(self, paddr: int) -> bool:
         """Drop the line holding *paddr*; return True if it was resident."""
         line = self.line_addr(paddr)
         cset = self._sets[self._index(paddr)]
-        if line in cset:
-            del cset[line]
-            return True
-        return False
+        try:
+            cset.remove(line)
+        except ValueError:
+            return False
+        return True
 
     def flush(self) -> None:
         """Empty the cache."""

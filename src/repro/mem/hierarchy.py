@@ -5,6 +5,15 @@ L1 → L2 → LLC and filling all levels on the way back (inclusive fill).  This
 is the single timing primitive every other component (PTW, PMPT walker,
 data path) uses, so permission-table walks and page-table walks naturally
 share cache capacity with data — the effect the paper's evaluation hinges on.
+
+The per-reference path is flattened: every level's fused
+:meth:`~repro.mem.cache.Cache.lookup_fill` and hit latency is resolved once
+at construction, so an access is a straight line of local calls — no
+attribute chains, no per-level probe-then-insert double lookup, and the
+refs/dram_refs counters are deferred plain ints published on stats reads.
+A level that hits installs the line in every level above it exactly as the
+unflattened probe/insert pair did, so residency, evictions and counters stay
+byte-identical.
 """
 
 from __future__ import annotations
@@ -32,47 +41,75 @@ class MemoryHierarchy:
         self.l1i = Cache(params.l1i, seed=seed + 1)
         self.l2 = Cache(params.l2, seed=seed + 2)
         self.llc = Cache(params.llc, seed=seed + 3)
-        self.stats = StatGroup("hierarchy")
-        # Hot-path latency constants, bound once (access() runs per reference).
+        # Deferred hot-path counters, published into ``stats`` on read.
+        self._refs = 0
+        self._dram_refs = 0
+        self.stats = StatGroup("hierarchy", sync=self._publish_stats)
+        # Hot-path bindings, resolved once (access() runs per reference):
+        # per-level fused lookup_fill plus the latency constants.
+        self._l1d_fill = self.l1d.lookup_fill
+        self._l1i_fill = self.l1i.lookup_fill
+        self._l2_fill = self.l2.lookup_fill
+        self._llc_fill = self.llc.lookup_fill
+        self._l1d_lat = params.l1d.hit_latency
+        self._l1i_lat = params.l1i.hit_latency
         self._l2_lat = params.l2.hit_latency
         self._llc_lat = params.llc.hit_latency
+        self._dram_lat = params.dram_latency
+
+    def _publish_stats(self) -> None:
+        """Sync point: fold pending reference counts into the StatGroup."""
+        if self._refs:
+            self.stats.bump("refs", self._refs)
+            self._refs = 0
+        if self._dram_refs:
+            self.stats.bump("dram_refs", self._dram_refs)
+            self._dram_refs = 0
 
     def access(self, paddr: int, instruction: bool = False) -> int:
-        """Perform one reference; return its cycle cost and update occupancy."""
-        l1 = self.l1i if instruction else self.l1d
-        self.stats.bump("refs")
-        cycles = l1.params.hit_latency
-        if l1.probe(paddr):
-            return cycles
+        """Perform one reference; return its cycle cost and update occupancy.
+
+        Filling a missing level immediately (before probing the next one)
+        is equivalent to the textbook fill-on-the-way-back: the levels hold
+        disjoint state, so the order of installs across levels can never
+        change a hit/miss outcome, a victim, or a counter.
+        """
+        self._refs += 1
+        if instruction:
+            cycles = self._l1i_lat
+            if self._l1i_fill(paddr):
+                return cycles
+        else:
+            cycles = self._l1d_lat
+            if self._l1d_fill(paddr):
+                return cycles
         cycles += self._l2_lat
-        if self.l2.probe(paddr):
-            l1.insert(paddr)
+        if self._l2_fill(paddr):
             return cycles
         cycles += self._llc_lat
-        if self.llc.probe(paddr):
-            self.l2.insert(paddr)
-            l1.insert(paddr)
+        if self._llc_fill(paddr):
             return cycles
-        cycles += self.params.dram_latency
-        self.stats.bump("dram_refs")
-        self.llc.insert(paddr)
-        self.l2.insert(paddr)
-        l1.insert(paddr)
-        return cycles
+        self._dram_refs += 1
+        return cycles + self._dram_lat
 
     def peek_latency(self, paddr: int, instruction: bool = False) -> int:
-        """Latency ``access`` would charge, without changing any state."""
+        """Latency ``access`` would charge, without changing any state.
+
+        "Any state" includes statistics: the peeks below leave every
+        StatGroup untouched (no hit/miss counts, no refs), so telemetry
+        observes only the references the timed path actually issued.
+        """
         l1 = self.l1i if instruction else self.l1d
         cycles = l1.params.hit_latency
         if l1.probe(paddr, update_lru=False):
             return cycles
-        cycles += self.l2.params.hit_latency
+        cycles += self._l2_lat
         if self.l2.probe(paddr, update_lru=False):
             return cycles
-        cycles += self.llc.params.hit_latency
+        cycles += self._llc_lat
         if self.llc.probe(paddr, update_lru=False):
             return cycles
-        return cycles + self.params.dram_latency
+        return cycles + self._dram_lat
 
     def warm(self, paddr: int) -> None:
         """Install the line holding *paddr* at every level (no timing)."""

@@ -10,7 +10,7 @@ uses to place all PT pages inside one contiguous "fast" GMS.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..common.errors import ConfigurationError, PageFault
 from ..common.types import PAGE_SHIFT, PAGE_SIZE, AccessType, Permission
@@ -127,6 +127,10 @@ class PageTable:
         self.levels = MODES[mode]
         self._alloc_pt_page = alloc_pt_page
         self.pt_pages: List[int] = []
+        # VPN -> Translation memo for walk(); every reuse re-validates the
+        # cached PTE values against memory, so no explicit invalidation is
+        # needed (or possible to miss).
+        self._walk_cache: Dict[int, Translation] = {}
         self.root_pa = self._new_table_page()
 
     # -- construction -----------------------------------------------------
@@ -212,7 +216,35 @@ class PageTable:
     # -- walking -----------------------------------------------------------
 
     def walk(self, va: int) -> Translation:
-        """Functional (untimed) walk; raises :class:`PageFault` on failure."""
+        """Functional (untimed) walk; raises :class:`PageFault` on failure.
+
+        Successful walks are memoised per VPN and *validated* on reuse: a
+        cached translation is returned only when every PTE it read still
+        holds the value it read, so any write to table memory — through
+        this class or around it — transparently forces a fresh walk.  The
+        timed walker re-issues the step references itself, so memoisation
+        changes no cycle, reference or cache-state accounting.
+        """
+        vpn = va >> PAGE_SHIFT
+        cached = self._walk_cache.get(vpn)
+        if cached is not None:
+            words = getattr(self.memory, "_words", None)
+            if words is None:
+                read64 = self.memory.read64  # e.g. a guest memory view
+                valid = all(read64(s.pte_addr) == s.pte for s in cached.steps)
+            else:
+                valid = all(words.get(s.pte_addr, 0) == s.pte for s in cached.steps)
+            if valid:
+                offset = va & (PAGE_SIZE - 1)
+                if cached.paddr & (PAGE_SIZE - 1) == offset:
+                    return cached
+                return Translation(
+                    (cached.paddr & ~(PAGE_SIZE - 1)) | offset,
+                    cached.perm,
+                    cached.user,
+                    cached.page_size,
+                    cached.steps,
+                )
         steps: List[WalkStep] = []
         table = self.root_pa
         for lvl in range(self.levels - 1, -1, -1):
@@ -227,7 +259,9 @@ class PageTable:
                     raise PageFault(va, f"misaligned level-{lvl} superpage")
                 base = pte_ppn(pte) << PAGE_SHIFT
                 paddr = base | (va & (page_size - 1))
-                return Translation(paddr, pte_perm(pte), bool(pte & PTE_U), page_size, tuple(steps))
+                result = Translation(paddr, pte_perm(pte), bool(pte & PTE_U), page_size, tuple(steps))
+                self._walk_cache[vpn] = result
+                return result
             table = pte_ppn(pte) << PAGE_SHIFT
         raise PageFault(va, "no leaf PTE found")
 

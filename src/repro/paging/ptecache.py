@@ -26,7 +26,20 @@ class PageWalkCache:
     def __init__(self, entries: int = 8):
         self.capacity = entries
         self._entries: OrderedDict = OrderedDict()
-        self.stats = StatGroup("pwc")
+        # Deferred hit/miss counts, published into ``stats`` on read
+        # (lookup runs once per TLB miss — the page-walk hot path).
+        self._s_hits = 0
+        self._s_misses = 0
+        self.stats = StatGroup("pwc", sync=self._publish_stats)
+
+    def _publish_stats(self) -> None:
+        """Sync point: fold pending lookup outcomes into the StatGroup."""
+        if self._s_hits:
+            self.stats.bump("hit", self._s_hits)
+            self._s_hits = 0
+        if self._s_misses:
+            self.stats.bump("miss", self._s_misses)
+            self._s_misses = 0
 
     @staticmethod
     def _prefix(va: int, level: int, levels: int) -> int:
@@ -51,9 +64,9 @@ class PageWalkCache:
                 best = (level, table_pa)
                 break
         if best is None:
-            self.stats.bump("miss")
+            self._s_misses += 1
         else:
-            self.stats.bump("hit")
+            self._s_hits += 1
         return best
 
     def insert(self, root_pa: int, va: int, level: int, table_pa: int, levels: int) -> None:

@@ -111,7 +111,28 @@ class TLB:
         self.l2_params = l2
         self._l1 = _FullyAssocTLB(l1.entries)
         self._l2 = _DirectMappedTLB(l2.entries)
-        self.stats = StatGroup("tlb")
+        # Deferred hot-path counters (published into ``stats`` on read) and
+        # latency constants / map bindings resolved once: ``lookup`` runs
+        # per memory access.
+        self._s_l1_hits = 0
+        self._s_l2_hits = 0
+        self._s_misses = 0
+        self.stats = StatGroup("tlb", sync=self._publish_stats)
+        self._l1_map = self._l1._map
+        self._l1_lat = l1.hit_latency
+        self._l2_lat = l2.hit_latency
+
+    def _publish_stats(self) -> None:
+        """Sync point: fold the pending lookup outcomes into the StatGroup."""
+        if self._s_l1_hits:
+            self.stats.bump("l1_hit", self._s_l1_hits)
+            self._s_l1_hits = 0
+        if self._s_l2_hits:
+            self.stats.bump("l2_hit", self._s_l2_hits)
+            self._s_l2_hits = 0
+        if self._s_misses:
+            self.stats.bump("miss", self._s_misses)
+            self._s_misses = 0
 
     @staticmethod
     def vpn(va: int) -> int:
@@ -119,19 +140,20 @@ class TLB:
 
     def lookup(self, va: int, asid: int = 0) -> Tuple[Optional[TLBEntry], int]:
         """Probe L1 then L2 for *va*; return (entry-or-None, cycles)."""
-        key = (asid, self.vpn(va))
-        entry = self._l1.lookup(key)
+        key = (asid, va >> PAGE_SHIFT)
+        l1_map = self._l1_map
+        entry = l1_map.get(key)
         if entry is not None:
-            self.stats.bump("l1_hit")
-            return entry, self.l1_params.hit_latency
-        cycles = self.l1_params.hit_latency
+            l1_map.move_to_end(key)
+            self._s_l1_hits += 1
+            return entry, self._l1_lat
         entry = self._l2.lookup(key)
         if entry is not None:
-            self.stats.bump("l2_hit")
+            self._s_l2_hits += 1
             self._l1.insert(key, entry)
-            return entry, cycles + self.l2_params.hit_latency
-        self.stats.bump("miss")
-        return None, cycles + self.l2_params.hit_latency
+            return entry, self._l1_lat + self._l2_lat
+        self._s_misses += 1
+        return None, self._l1_lat + self._l2_lat
 
     def fill(self, entry: TLBEntry) -> None:
         """Install a translation into both levels."""

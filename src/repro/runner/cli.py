@@ -106,6 +106,18 @@ def bench_summary(manifest: RunManifest, store: ResultStore, generated_unix: Opt
         "cells": totals,
         "sequential_equivalent_s": round(executed, 3),
         "speedup_vs_sequential": round(executed / manifest.wall_s, 2) if manifest.wall_s > 0 else None,
+        # A 1.0x speedup with jobs > 1 is not a scheduler bug when the CPU
+        # affinity mask clamped the pool; record the full context so the
+        # number can be read without knowing the machine it ran on.
+        "speedup": {
+            "requested_jobs": manifest.jobs,
+            "effective_jobs": manifest.effective_jobs,
+            "clamped": manifest.effective_jobs < manifest.jobs,
+            "vs_sequential": round(executed / manifest.wall_s, 2) if manifest.wall_s > 0 else None,
+            "vs_requested_ideal": round(executed / (manifest.jobs * manifest.wall_s), 2)
+            if manifest.wall_s > 0 and manifest.jobs
+            else None,
+        },
         "cell_wall_s": {c.task_id: round(c.wall_s, 3) for c in manifest.cells},
         "failed_cells": [c.task_id for c in manifest.failed],
         "headline": _headline(store, manifest),
@@ -156,10 +168,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     totals = manifest.totals()
     speed = summary["speedup_vs_sequential"]
+    clamp = ""
+    if manifest.effective_jobs < manifest.jobs:
+        clamp = f", --jobs {manifest.jobs} clamped to {manifest.effective_jobs}"
     print(
         f"campaign: {totals['ok']} ok, {totals['cached']} cached, {totals['failed']} failed "
         f"of {totals['cells']} cells in {manifest.wall_s:.1f}s"
-        + (f" ({speed}x vs sequential)" if speed else "")
+        + (f" ({speed}x vs sequential{clamp})" if speed else "")
     )
     print(f"manifest: {args.manifest}\nsummary:  {args.summary}\nstore:    {args.store} ({len(store)} entries)")
     for record in manifest.failed:

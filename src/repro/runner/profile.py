@@ -1,0 +1,139 @@
+"""``python -m repro profile`` — cProfile one experiment or campaign cell.
+
+The hot path is pure Python, so the deterministic profiler is the primary
+optimization instrument: point it at a cell (``fig11/gap-rocket``) or a whole
+experiment id (``fig11``) and it prints the top functions by cumulative time.
+``--json`` emits the same table as a machine-readable summary, which the CI
+smoke test parses.
+
+Usage::
+
+    python -m repro profile fig11/gap-rocket
+    python -m repro profile fig11/gap-rocket --json --top 40
+    python -m repro profile fig02 --sort tottime
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import json
+import pstats
+import sys
+from typing import Dict, List, Optional
+
+#: pstats sort keys accepted by ``--sort`` (name → pstats key).
+SORT_KEYS = {
+    "cumulative": pstats.SortKey.CUMULATIVE,
+    "tottime": pstats.SortKey.TIME,
+    "ncalls": pstats.SortKey.CALLS,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro profile",
+        description="Profile one experiment or campaign cell with cProfile.",
+    )
+    parser.add_argument(
+        "target",
+        help="a campaign cell id like fig11/gap-rocket, or an experiment id like fig11",
+    )
+    parser.add_argument(
+        "--top", type=int, default=25, metavar="N", help="functions to report (default 25)"
+    )
+    parser.add_argument(
+        "--sort",
+        choices=sorted(SORT_KEYS),
+        default="cumulative",
+        help="ranking order (default cumulative)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json", help="emit a machine-readable summary"
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="PATH", help="also write the report to this file"
+    )
+    return parser
+
+
+def _run_target(target: str) -> None:
+    """Execute *target* once (the code under the profiler)."""
+    if "/" in target:
+        from .tasks import campaign_tasks, execute
+
+        specs = [s for s in campaign_tasks([target]) if s.task_id == target]
+        if not specs:
+            raise SystemExit(f"unknown campaign cell: {target!r} (see repro run --list-cells)")
+        execute(specs[0], telemetry="off")
+        return
+    from ..experiments import ALL_EXPERIMENTS
+
+    if target not in ALL_EXPERIMENTS:
+        raise SystemExit(f"unknown experiment id: {target!r} (see python -m repro list)")
+    ALL_EXPERIMENTS[target].main()
+
+
+def _stats_rows(stats: pstats.Stats, sort: str, top: int) -> List[Dict[str, object]]:
+    """The top-N functions as plain dicts, in the requested order."""
+    stats.sort_stats(SORT_KEYS[sort])
+    rows: List[Dict[str, object]] = []
+    for func in stats.fcn_list[:top]:  # fcn_list is populated by sort_stats
+        cc, nc, tt, ct, _callers = stats.stats[func]
+        filename, line, name = func
+        rows.append(
+            {
+                "file": filename,
+                "line": line,
+                "function": name,
+                "ncalls": nc,
+                "primitive_calls": cc,
+                "tottime": round(tt, 6),
+                "cumtime": round(ct, 6),
+            }
+        )
+    return rows
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        _run_target(args.target)
+    finally:
+        profiler.disable()
+
+    stats = pstats.Stats(profiler, stream=io.StringIO())
+    total_time = getattr(stats, "total_tt", 0.0)
+    total_calls = getattr(stats, "total_calls", 0)
+
+    if args.as_json:
+        payload = {
+            "target": args.target,
+            "sort": args.sort,
+            "total_seconds": round(total_time, 6),
+            "total_calls": total_calls,
+            "functions": _stats_rows(stats, args.sort, args.top),
+        }
+        report = json.dumps(payload, indent=2, sort_keys=True)
+    else:
+        buffer = io.StringIO()
+        stats.stream = buffer
+        stats.sort_stats(SORT_KEYS[args.sort])
+        stats.print_stats(args.top)
+        report = f"profile of {args.target} ({total_calls} calls, {total_time:.2f}s)\n" + (
+            buffer.getvalue()
+        )
+
+    print(report)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

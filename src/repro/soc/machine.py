@@ -106,7 +106,40 @@ class Machine:
         self.engine = ReferenceEngine(
             self.hierarchy, checker if checker is not None else NullChecker()
         )
-        self.stats = StatGroup("machine")
+        # Deferred per-access statistics (published into ``stats`` on read)
+        # and hot-path bindings: the TLB/hierarchy objects live as long as
+        # the machine, so their bound methods are resolved once here.
+        self._s_accesses = 0
+        self._s_cycles = 0
+        self._s_pt_refs = 0
+        self._s_checker_refs = 0
+        self._s_tlb_misses = 0
+        self.stats = StatGroup("machine", sync=self._publish_stats)
+        self._tlb_lookup = self.tlb.lookup
+        self._hier_access = self.hierarchy.access
+        # One pooled Account, reset per general-path access (see
+        # engine.Account.reset): nothing retains it past the access.
+        self._acct = Account()
+
+    def _publish_stats(self) -> None:
+        """Sync point: fold pending per-access deltas into the StatGroup.
+
+        Every access contributes to all four always-bumped keys (the
+        original path bumped ``pt_refs``/``checker_refs`` even with amount
+        0), so the keys materialize together once any access ran.
+        """
+        if self._s_accesses:
+            self.stats.bump("accesses", self._s_accesses)
+            self._s_accesses = 0
+            self.stats.bump("cycles", self._s_cycles)
+            self._s_cycles = 0
+            self.stats.bump("pt_refs", self._s_pt_refs)
+            self._s_pt_refs = 0
+            self.stats.bump("checker_refs", self._s_checker_refs)
+            self._s_checker_refs = 0
+        if self._s_tlb_misses:
+            self.stats.bump("tlb_misses", self._s_tlb_misses)
+            self._s_tlb_misses = 0
 
     @property
     def checker(self) -> IsolationChecker:
@@ -181,14 +214,18 @@ class Machine:
             walk = page_table.walk(va)  # functional result; we re-time the steps
         except BaseException as exc:
             raise engine.fault(exc)
-        for i, step in enumerate(walk.steps):
+        step_ref = engine.step_ref  # bound once: the loop is the walk hot path
+        pwc_insert = self.pwc.insert
+        steps = walk.steps
+        num_steps = len(steps)
+        for i, step in enumerate(steps):
             if step.level > start_level:
                 continue  # resolved by the PWC
-            engine.step_ref(acct, step.pte_addr, RefKind.PT, priv)
-            if i + 1 < len(walk.steps):
+            step_ref(acct, step.pte_addr, RefKind.PT, priv)
+            if i + 1 < num_steps:
                 # A pointer PTE: remember the child table for future walks.
-                child_table = walk.steps[i + 1].pte_addr & ~PAGE_MASK
-                self.pwc.insert(page_table.root_pa, va, step.level - 1, child_table, levels)
+                child_table = steps[i + 1].pte_addr & ~PAGE_MASK
+                pwc_insert(page_table.root_pa, va, step.level - 1, child_table, levels)
         if not walk.perm.allows(access):
             raise engine.fault(PageFault(va, f"page permission {walk.perm} denies {access.value}"))
         if priv is PrivilegeMode.USER and not walk.user:
@@ -216,14 +253,14 @@ class Machine:
         and stats-based reports agree (they account through this one path).
         """
         engine = self.engine
-        stats = self.stats
-        stats.bump("accesses")
-        entry, cycles = self.tlb.lookup(va, asid)
+        self._s_accesses += 1
+        entry, cycles = self._tlb_lookup(va, asid)
+        tlb_inlining = self.params.tlb_inlining
         if (
             entry is not None
             and entry.checker_perm is not None
-            and self.params.tlb_inlining
-            and not engine.wants_references
+            and tlb_inlining
+            and not engine._ref_hooks
         ):
             # Inlined-hit fast path: translation and isolation both resolve
             # inside the TLB entry, so no Account (and no per-reference
@@ -233,36 +270,44 @@ class Machine:
             # below: an inlined hit issues exactly one (data) reference, so
             # only a hook that watches individual references forces the
             # general path; access-level hooks are fed from right here.
-            if not entry.perm.allows(access):
+            # Permission.allows, unrolled: two method calls per reference
+            # add up over multi-million-access workloads.
+            perm = entry.perm
+            checker_perm = entry.checker_perm
+            if access is AccessType.READ:
+                page_ok, checker_ok = perm.r, checker_perm.r
+            elif access is AccessType.WRITE:
+                page_ok, checker_ok = perm.w, checker_perm.w
+            else:
+                page_ok, checker_ok = perm.x, checker_perm.x
+            if not page_ok:
                 raise engine.fault(
-                    PageFault(va, f"page permission {entry.perm} denies {access.value}")
+                    PageFault(va, f"page permission {perm} denies {access.value}")
                 )
-            if not entry.checker_perm.allows(access):
+            if not checker_ok:
                 raise engine.fault(
                     AccessFault(entry.ppn << PAGE_SHIFT, access.value, "inlined perm denies")
                 )
             paddr = (entry.ppn << PAGE_SHIFT) | (va & PAGE_MASK)
             cycles += (
-                self.hierarchy.access(paddr, instruction=access is AccessType.FETCH)
+                self._hier_access(paddr, access is AccessType.FETCH)
                 + extra_cycles
             )
-            stats.bump("cycles", cycles)
-            stats.bump("pt_refs", 0)
-            stats.bump("checker_refs", 0)
-            if engine.wants_accesses:
+            self._s_cycles += cycles
+            if engine._access_hooks:
                 engine.access_done(va, access, cycles, True, 1)
             return cycles, paddr, True, 0, 0
-        acct = Account()
+        acct = self._acct.reset()
         if entry is None:
-            stats.bump("tlb_misses")
+            self._s_tlb_misses += 1
             entry = self._walk(acct, page_table, va, access, priv)
             entry.asid = asid
             # Data-page check, inlined into the TLB entry at fill time.
             cost = engine.leaf_check(acct, entry.ppn << PAGE_SHIFT, access, priv)
-            if self.params.tlb_inlining:
+            if tlb_inlining:
                 entry.checker_perm = cost.perm
             self.tlb.fill(entry)
-            if engine.wants_tlb_fills:
+            if engine._fill_hooks:
                 engine.tlb_filled(entry, "dtlb")
             tlb_hit = False
         else:
@@ -271,24 +316,24 @@ class Machine:
                 raise engine.fault(
                     PageFault(va, f"page permission {entry.perm} denies {access.value}")
                 )
-            if entry.checker_perm is not None and self.params.tlb_inlining:
+            if entry.checker_perm is not None and tlb_inlining:
                 if not entry.checker_perm.allows(access):
                     raise engine.fault(
                         AccessFault(entry.ppn << PAGE_SHIFT, access.value, "inlined perm denies")
                     )
             else:
                 cost = engine.leaf_check(acct, entry.ppn << PAGE_SHIFT, access, priv)
-                if self.params.tlb_inlining:
+                if tlb_inlining:
                     entry.checker_perm = cost.perm
         paddr = (entry.ppn << PAGE_SHIFT) | (va & PAGE_MASK)
         if acct.walk_cycles:
             cycles += self._mlp(acct.walk_cycles, access)
         engine.data_ref(acct, paddr, instruction=access is AccessType.FETCH)
         cycles += acct.data_cycles + extra_cycles
-        stats.bump("cycles", cycles)
-        stats.bump("pt_refs", acct.table_refs)
-        stats.bump("checker_refs", acct.checker_refs)
-        if engine.wants_accesses:
+        self._s_cycles += cycles
+        self._s_pt_refs += acct.table_refs
+        self._s_checker_refs += acct.checker_refs
+        if engine._access_hooks:
             engine.access_done(va, access, cycles, tlb_hit, acct.total_refs)
         return cycles, paddr, tlb_hit, acct.table_refs, acct.checker_refs
 

@@ -128,7 +128,34 @@ class VirtualMachine:
         params = system.params
         self.combined_tlb = TLB(params.l1_tlb, params.l2_tlb)
         self.g_tlb = TLB(params.l1_tlb, params.l2_tlb)
-        self.stats = StatGroup("vm")
+        # Deferred per-access statistics (published into ``stats`` on read)
+        # plus one pooled Account reset per guest access — the 3D walk is
+        # the virtualized hot path.
+        self._s_accesses = 0
+        self._s_tlb_hits = 0
+        self._s_cycles = 0
+        self._s_refs = 0
+        self._s_checker_refs = 0
+        self.stats = StatGroup("vm", sync=self._publish_stats)
+        self._acct = Account()
+
+    def _publish_stats(self) -> None:
+        """Sync point: fold pending guest-access deltas into the StatGroup."""
+        if self._s_accesses:
+            self.stats.bump("accesses", self._s_accesses)
+            self._s_accesses = 0
+        if self._s_tlb_hits:
+            self.stats.bump("tlb_hits", self._s_tlb_hits)
+            self._s_tlb_hits = 0
+        if self._s_cycles:
+            self.stats.bump("cycles", self._s_cycles)
+            self._s_cycles = 0
+        if self._s_refs:
+            self.stats.bump("refs", self._s_refs)
+            self._s_refs = 0
+        if self._s_checker_refs:
+            self.stats.bump("checker_refs", self._s_checker_refs)
+            self._s_checker_refs = 0
 
     def _back(self, gpa_page: int, frame: Optional[int] = None) -> int:
         if frame is None:
@@ -184,13 +211,14 @@ class VirtualMachine:
             return (entry.ppn << PAGE_SHIFT) | (gpa & PAGE_MASK)
         engine = self.engine
         walk = self.npt.walk(gpa)
+        step_ref = engine.step_ref
         for step in walk.steps:
-            engine.step_ref(acct, step.pte_addr, RefKind.NPT, S)
+            step_ref(acct, step.pte_addr, RefKind.NPT, S)
         entry = TLBEntry(
             vpn=gpa >> PAGE_SHIFT, ppn=(walk.paddr & ~PAGE_MASK) >> PAGE_SHIFT, perm=walk.perm, user=True
         )
         self.g_tlb.fill(entry)
-        if engine.wants_tlb_fills:
+        if engine._fill_hooks:
             engine.tlb_filled(entry, "gstage")
         return walk.paddr
 
@@ -204,29 +232,30 @@ class VirtualMachine:
         reference.
         """
         engine = self.engine
-        stats = self.stats
-        stats.bump("accesses")
-        acct = Account()
+        self._s_accesses += 1
+        acct = self._acct.reset()
         entry, cycles = self.combined_tlb.lookup(gva)
         if entry is not None:
             hpa = (entry.ppn << PAGE_SHIFT) | (gva & PAGE_MASK)
             engine.data_ref(acct, hpa)
             cycles += acct.data_cycles
-            stats.bump("tlb_hits")
-            stats.bump("cycles", cycles)
-            if engine.wants_accesses:
+            self._s_tlb_hits += 1
+            self._s_cycles += cycles
+            if engine._access_hooks:
                 engine.access_done(gva, access, cycles, True, 1)
             return GuestAccessResult(cycles, hpa, True, 1, 0)
         try:
             gwalk = self.guest_pt.walk(gva)
         except BaseException as exc:
             raise engine.fault(exc)
+        nested_resolve = self._nested_resolve  # bound once: the 3D-walk loop
+        step_ref = engine.step_ref
         for step in gwalk.steps:
             # step.pte_addr is a GPA: translate it through the G stage...
-            hpa_pte = self._nested_resolve(acct, step.pte_addr)
+            hpa_pte = nested_resolve(acct, step.pte_addr)
             # ...then check and read the guest PT page itself.
-            engine.step_ref(acct, hpa_pte, RefKind.GUEST_PT, S)
-        hpa_data = self._nested_resolve(acct, gwalk.paddr)
+            step_ref(acct, hpa_pte, RefKind.GUEST_PT, S)
+        hpa_data = nested_resolve(acct, gwalk.paddr)
         engine.leaf_check(acct, hpa_data & ~PAGE_MASK, access, S)
         entry = TLBEntry(
             vpn=gva >> PAGE_SHIFT,
@@ -235,15 +264,15 @@ class VirtualMachine:
             user=True,
         )
         self.combined_tlb.fill(entry)
-        if engine.wants_tlb_fills:
+        if engine._fill_hooks:
             engine.tlb_filled(entry, "combined")
         engine.data_ref(acct, hpa_data)
         cycles += acct.walk_cycles + acct.data_cycles
         refs = acct.total_refs
-        stats.bump("cycles", cycles)
-        stats.bump("refs", refs)
-        stats.bump("checker_refs", acct.checker_refs)
-        if engine.wants_accesses:
+        self._s_cycles += cycles
+        self._s_refs += refs
+        self._s_checker_refs += acct.checker_refs
+        if engine._access_hooks:
             engine.access_done(gva, access, cycles, False, refs)
         return GuestAccessResult(cycles, hpa_data, False, refs, acct.checker_refs)
 

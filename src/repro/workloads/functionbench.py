@@ -23,6 +23,7 @@ from ..soc.system import System
 from ..tee.enclave import ENCLAVE_HEAP_VA, ENCLAVE_TEXT_VA, EnclaveRuntime
 from ..tee.monitor import SecureMonitor
 from ..workloads.kernel import KernelModel
+from .harness import stable_hash
 
 FUNCTIONS = ("chameleon", "dd", "gzip", "linpack", "matmul", "pyaes", "image")
 
@@ -114,7 +115,7 @@ class ServerlessNode:
         return cycles
 
     def _invoke_enclave(self, profile: FunctionProfile) -> FunctionResult:
-        rng = random.Random(self.seed ^ hash(profile.name) & 0xFFFF)
+        rng = random.Random(self.seed ^ stable_hash(profile.name) & 0xFFFF)
         handle = self.runtime.launch(profile.name, profile.text_pages, profile.heap_pages)
         fetch = lambda off: self.runtime.access(handle, ENCLAVE_TEXT_VA + off, AccessType.FETCH)  # noqa: E731
         read = lambda off: self.runtime.access(handle, ENCLAVE_HEAP_VA + off, AccessType.READ)  # noqa: E731
@@ -132,7 +133,7 @@ class ServerlessNode:
 
     def _invoke_host(self, profile: FunctionProfile) -> FunctionResult:
         """Host-PMP baseline: same work as an ordinary process."""
-        rng = random.Random(self.seed ^ hash(profile.name) & 0xFFFF)
+        rng = random.Random(self.seed ^ stable_hash(profile.name) & 0xFFFF)
         kernel = self.kernel
         proc, launch = kernel.spawn(
             text_pages=profile.text_pages, heap_pages=profile.heap_pages, stack_pages=4, populate=True

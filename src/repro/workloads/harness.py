@@ -23,6 +23,25 @@ USER_ARRAY_BASE = 0x0000_2000_0000
 USER_HEAP_BASE = 0x0000_6000_0000
 
 U = PrivilegeMode.USER
+_READ = AccessType.READ
+_WRITE = AccessType.WRITE
+
+_FNV_OFFSET = 0x811C9DC5
+_FNV_PRIME = 0x01000193
+
+
+def stable_hash(text: str) -> int:
+    """Deterministic 32-bit FNV-1a hash of *text*.
+
+    Workload models must not use the builtin ``hash`` on strings: it is
+    salted per process (PYTHONHASHSEED), so key-to-bucket placement — and
+    therefore every downstream cycle count — would differ between runs and
+    break the campaign's byte-identical regression gate.
+    """
+    h = _FNV_OFFSET
+    for byte in text.encode():
+        h = ((h ^ byte) * _FNV_PRIME) & 0xFFFFFFFF
+    return h
 
 
 @dataclass
@@ -55,6 +74,12 @@ class ArrayMap:
         self._frames = frames  # e.g. an enclave's GMS region
         self.cycles = 0
         self.accesses = 0
+        # Hot-loop bindings: read/write run millions of times per workload,
+        # and the machine core, page table and ASID are fixed for the
+        # harness lifetime.
+        self._access_core = system.machine._access_core
+        self._page_table = self.space.page_table
+        self._asid = self.space.asid
 
     def add(self, name: str, length: int, elem_bytes: int = 8) -> None:
         """Allocate and map a new array."""
@@ -78,18 +103,24 @@ class ArrayMap:
 
     def read(self, name: str, index: int) -> int:
         """Timed read of one element; returns cycles."""
-        cycles = self.system.machine.access_cycles(
-            self.space.page_table, self.va(name, index), AccessType.READ, U, self.space.asid
-        )
+        arr = self._arrays[name]
+        if not 0 <= index < arr.length:
+            raise WorkloadError(f"{name}[{index}] out of bounds (length {arr.length})")
+        cycles = self._access_core(
+            self._page_table, arr.base_va + index * arr.elem_bytes, _READ, U, self._asid
+        )[0]
         self.cycles += cycles
         self.accesses += 1
         return cycles
 
     def write(self, name: str, index: int) -> int:
         """Timed write of one element; returns cycles."""
-        cycles = self.system.machine.access_cycles(
-            self.space.page_table, self.va(name, index), AccessType.WRITE, U, self.space.asid
-        )
+        arr = self._arrays[name]
+        if not 0 <= index < arr.length:
+            raise WorkloadError(f"{name}[{index}] out of bounds (length {arr.length})")
+        cycles = self._access_core(
+            self._page_table, arr.base_va + index * arr.elem_bytes, _WRITE, U, self._asid
+        )[0]
         self.cycles += cycles
         self.accesses += 1
         return cycles
@@ -137,6 +168,10 @@ class HeapMap:
         self._slot_of = slots  # object id -> slot index
         self.cycles = 0
         self.accesses = 0
+        # Hot-path bindings (touch() runs per object access).
+        self._access_core = system.machine._access_core
+        self._page_table = self.space.page_table
+        self._asid = self.space.asid
 
     def va_of(self, obj_id: int, field_offset: int = 0) -> int:
         slot = self._slot_of[obj_id % self.num_objects]
@@ -144,13 +179,16 @@ class HeapMap:
 
     def touch(self, obj_id: int, writes: int = 0, reads: int = 1, field_offset: int = 0) -> int:
         """Timed accesses to one object; returns cycles."""
-        va = self.va_of(obj_id, field_offset)
+        slot = self._slot_of[obj_id % self.num_objects]
+        va = self.base_va + slot * self.obj_bytes + field_offset
         cycles = 0
-        access_cycles = self.system.machine.access_cycles
+        access_core = self._access_core
+        page_table = self._page_table
+        asid = self._asid
         for _ in range(reads):
-            cycles += access_cycles(self.space.page_table, va, AccessType.READ, U, self.space.asid)
+            cycles += access_core(page_table, va, _READ, U, asid)[0]
         for _ in range(writes):
-            cycles += access_cycles(self.space.page_table, va, AccessType.WRITE, U, self.space.asid)
+            cycles += access_core(page_table, va, _WRITE, U, asid)[0]
         self.cycles += cycles
         self.accesses += reads + writes
         return cycles

@@ -28,7 +28,7 @@ from ..soc.system import System
 from ..tee.enclave import EnclaveRuntime
 from ..tee.monitor import HOST_DOMAIN_ID, SecureMonitor
 from ..workloads.kernel import USER_HEAP_VA, KernelModel
-from .harness import ArrayMap, HeapMap
+from .harness import ArrayMap, HeapMap, stable_hash
 
 COMMANDS = (
     "PING_INLINE",
@@ -106,7 +106,7 @@ class MiniRedis:
         self._populate()
 
     def _hash(self, key: str) -> int:
-        return hash(key) & 0x7FFF_FFFF
+        return stable_hash(key) & 0x7FFF_FFFF
 
     def _populate(self) -> None:
         """Preload the keyspace (SETs) and one long list for LRANGE."""

@@ -1,0 +1,463 @@
+"""Tests for the flattened hot path: array-backed caches, deferred stats,
+the PMP match table, deterministic workload hashing, and the profile CLI."""
+
+import json
+import random
+import subprocess
+import sys
+from collections import OrderedDict
+
+import pytest
+
+from repro.common.errors import MemoryError_
+from repro.common.params import CacheParams, rocket
+from repro.common.stats import StatGroup
+from repro.common.types import PAGE_SIZE, AccessType, MemRegion, Permission, PrivilegeMode
+from repro.isolation.pmp import AddrMatch, PMPEntry, PMPRegisterFile, napot_addr
+from repro.mem.allocator import FrameAllocator
+from repro.mem.cache import Cache
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.runner.cli import bench_summary
+from repro.runner.manifest import CellRecord, RunManifest
+from repro.runner.store import ResultStore
+from repro.workloads.harness import stable_hash
+
+
+class ReferenceCache:
+    """OrderedDict model of the pre-flattening Cache, including stats and
+    victim selection (LRU order = dict order, random draws LRU->MRU)."""
+
+    def __init__(self, params: CacheParams, replacement: str = "lru", seed: int = 0):
+        self.line = params.line_bytes
+        self.ways = params.ways
+        self.num_sets = params.size_bytes // (params.line_bytes * params.ways)
+        self.sets = [OrderedDict() for _ in range(self.num_sets)]
+        self.replacement = replacement
+        self.rng = random.Random(seed)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _set(self, paddr):
+        return self.sets[(paddr // self.line) % self.num_sets]
+
+    def _line(self, paddr):
+        return (paddr // self.line) * self.line
+
+    def probe(self, paddr, update_lru=True):
+        cset = self._set(paddr)
+        line = self._line(paddr)
+        if not update_lru:
+            return line in cset
+        if line in cset:
+            cset.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, paddr):
+        cset = self._set(paddr)
+        line = self._line(paddr)
+        if line in cset:
+            cset.move_to_end(line)
+            return None
+        victim = None
+        if len(cset) >= self.ways:
+            if self.replacement == "lru":
+                victim = next(iter(cset))
+            else:
+                victim = self.rng.choice(list(cset))
+            del cset[victim]
+            self.evictions += 1
+        cset[line] = None
+        return victim
+
+    def lookup_fill(self, paddr):
+        if self.probe(paddr):
+            return True
+        self.insert(paddr)
+        return False
+
+    def invalidate(self, paddr):
+        self._set(paddr).pop(self._line(paddr), None)
+
+    def flush(self):
+        for cset in self.sets:
+            cset.clear()
+
+    def resident(self):
+        return sorted(line for cset in self.sets for line in cset)
+
+
+class TestCacheEquivalence:
+    """The flat-list Cache is observationally identical to the OrderedDict
+    model: hits, victims, evictions and residency all match under random
+    probe / insert / lookup_fill / invalidate / flush streams."""
+
+    @pytest.mark.parametrize("replacement", ["lru", "random"])
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42])
+    def test_random_streams_match(self, replacement, seed):
+        params = CacheParams("t", 4096, ways=4, line_bytes=64)
+        cache = Cache(params, replacement=replacement, seed=seed)
+        reference = ReferenceCache(params, replacement=replacement, seed=seed)
+        rng = random.Random(1000 + seed)
+        for step in range(4000):
+            op = rng.choices(
+                ["lookup_fill", "probe", "peek", "insert", "invalidate", "flush"],
+                weights=[40, 20, 10, 20, 8, 2],
+            )[0]
+            paddr = rng.randrange(0, 1 << 16)
+            if op == "lookup_fill":
+                assert cache.lookup_fill(paddr) == reference.lookup_fill(paddr), step
+            elif op == "probe":
+                assert cache.probe(paddr) == reference.probe(paddr), step
+            elif op == "peek":
+                got = cache.probe(paddr, update_lru=False)
+                assert got == reference.probe(paddr, update_lru=False), step
+            elif op == "insert":
+                assert cache.insert(paddr) == reference.insert(paddr), step
+            elif op == "invalidate":
+                cache.invalidate(paddr)
+                reference.invalidate(paddr)
+            else:
+                cache.flush()
+                reference.flush()
+        assert cache.resident_lines() == len(reference.resident())
+        for line in reference.resident():
+            assert cache.probe(line, update_lru=False), hex(line)
+        assert cache.stats["hit"] == reference.hits
+        assert cache.stats["miss"] == reference.misses
+        assert cache.stats["eviction"] == reference.evictions
+
+    def test_fused_lookup_fill_equals_probe_insert(self):
+        params = CacheParams("t", 2048, ways=2, line_bytes=64)
+        fused = Cache(params)
+        split = Cache(params)
+        rng = random.Random(3)
+        for _ in range(3000):
+            paddr = rng.randrange(0, 1 << 15)
+            hit = split.probe(paddr)
+            if not hit:
+                split.insert(paddr)
+            assert fused.lookup_fill(paddr) == hit
+        assert fused.stats.snapshot() == split.stats.snapshot()
+        assert fused.resident_lines() == split.resident_lines()
+        assert fused._sets == split._sets  # identical LRU order, set by set
+
+
+class TestStatPurity:
+    def test_probe_without_lru_update_leaves_stats_untouched(self):
+        cache = Cache(CacheParams("t", 1024, ways=2, line_bytes=64))
+        cache.insert(0x1000)
+        baseline = cache.stats.snapshot()
+        for paddr in (0x1000, 0x2000, 0x3000):
+            cache.probe(paddr, update_lru=False)
+        assert cache.stats.snapshot() == baseline
+
+    def test_peek_latency_does_not_pollute_stats(self):
+        hierarchy = MemoryHierarchy(rocket())
+        for i in range(32):
+            hierarchy.access(0x8000_0000 + i * 64)
+        before = {
+            "hier": hierarchy.stats.snapshot(),
+            "l1d": hierarchy.l1d.stats.snapshot(),
+            "l2": hierarchy.l2.stats.snapshot(),
+            "llc": hierarchy.llc.stats.snapshot(),
+        }
+        for i in range(64):
+            hierarchy.peek_latency(0x8000_0000 + i * 64)
+            hierarchy.peek_latency(0x8000_0000 + i * 64, instruction=True)
+        after = {
+            "hier": hierarchy.stats.snapshot(),
+            "l1d": hierarchy.l1d.stats.snapshot(),
+            "l2": hierarchy.l2.stats.snapshot(),
+            "llc": hierarchy.llc.stats.snapshot(),
+        }
+        assert before == after
+
+
+class TestDeferredStats:
+    def test_sync_callback_runs_before_every_read(self):
+        pending = {"n": 0}
+        group = StatGroup("g")
+        group.set_sync(lambda: (group.bump("events", pending.pop("n", 0)), pending.update(n=0)))
+        pending["n"] = 5
+        assert group["events"] == 5
+        pending["n"] = 2
+        assert group.snapshot() == {"events": 7}
+        pending["n"] = 1
+        assert group.to_payload()["counters"] == {"events": 8}
+
+    def test_sync_callback_may_read_its_own_group(self):
+        group = StatGroup("g")
+        state = {"pending": 3}
+
+        def publish():
+            # Reading the group from inside the callback must not recurse.
+            _ = group["events"]
+            group.bump("events", state["pending"])
+            state["pending"] = 0
+
+        group.set_sync(publish)
+        assert group["events"] == 3
+
+    def test_reset_discards_pending_deltas(self):
+        state = {"pending": 4}
+        group = StatGroup("g")
+
+        def publish():
+            group.bump("events", state["pending"])
+            state["pending"] = 0
+
+        group.set_sync(publish)
+        group.reset()
+        assert state["pending"] == 0  # pulled in (and zeroed at the source)...
+        assert group["events"] == 0  # ...then discarded with the epoch
+
+    def test_cache_counters_publish_on_read(self):
+        cache = Cache(CacheParams("t", 1024, ways=2, line_bytes=64))
+        cache.lookup_fill(0x1000)
+        cache.lookup_fill(0x1000)
+        assert cache.stats["miss"] == 1
+        assert cache.stats["hit"] == 1
+
+
+class TestPMPMatchTable:
+    @staticmethod
+    def _reference_match(regfile, paddr, size):
+        for index in range(len(regfile)):
+            region = regfile.region(index)
+            if region is not None and region.contains(paddr, size):
+                return index
+        return None
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_linear_scan_on_random_configs(self, seed):
+        rng = random.Random(seed)
+        regfile = PMPRegisterFile(16)
+        # Overlapping NAPOT regions at random bases/sizes plus one TOR pair.
+        for index in range(0, 12, 2):
+            size = 1 << rng.randrange(12, 21)
+            base = rng.randrange(0, 1 << 26) // size * size
+            regfile.set_entry(
+                index,
+                PMPEntry(perm=Permission.rwx(), match=AddrMatch.NAPOT, addr=napot_addr(base, size)),
+            )
+        lower = rng.randrange(0, 1 << 24) // 4096 * 4096
+        upper = lower + rng.randrange(1, 64) * 4096
+        regfile.set_entry(13, PMPEntry(addr=lower >> 2))
+        regfile.set_entry(
+            14, PMPEntry(perm=Permission.rw(), match=AddrMatch.TOR, addr=upper >> 2)
+        )
+        probes = [rng.randrange(0, 1 << 27) for _ in range(2000)]
+        # Also aim directly at region edges, the boundary-spanning cases.
+        for region, _ in regfile._decoded_regions():
+            probes += [region.base, region.base - 4, region.end - 8, region.end - 4, region.end]
+        for paddr in probes:
+            for size in (1, 4, 8, 16):
+                assert regfile.match(paddr, size) == self._reference_match(
+                    regfile, paddr, size
+                ), (hex(paddr), size)
+
+    def test_table_invalidated_on_entry_write(self):
+        regfile = PMPRegisterFile(4)
+        regfile.set_entry(
+            0, PMPEntry(perm=Permission.rwx(), match=AddrMatch.NAPOT, addr=napot_addr(0x1000, 0x1000))
+        )
+        assert regfile.match(0x1800) == 0
+        regfile.clear_entry(0)
+        assert regfile.match(0x1800) is None
+
+
+class ReferenceAllocator:
+    """The pre-index FrameAllocator: rebuild-the-list semantics, kept as the
+    behavioural reference for the tombstone/position-index implementation."""
+
+    def __init__(self, region, scatter=False, seed=0):
+        self.region = region
+        self._free = list(range(region.base, region.end, PAGE_SIZE))
+        if scatter:
+            random.Random(seed).shuffle(self._free)
+        self._free.reverse()
+        self._allocated = set()
+        self._rng = random.Random(seed ^ 0x5EED)
+
+    @property
+    def free_frames(self):
+        return len(self._free)
+
+    def alloc(self):
+        frame = self._free.pop()
+        self._allocated.add(frame)
+        return frame
+
+    def alloc_scattered(self):
+        index = self._rng.randrange(len(self._free))
+        self._free[index], self._free[-1] = self._free[-1], self._free[index]
+        frame = self._free.pop()
+        self._allocated.add(frame)
+        return frame
+
+    def alloc_contiguous(self, num_frames, align_frames=1):
+        step = align_frames * PAGE_SIZE
+        free_set = set(self._free)
+        first_aligned = (self.region.base + step - 1) // step * step
+        for base in range(first_aligned, self.region.end - num_frames * PAGE_SIZE + 1, step):
+            if all(base + i * PAGE_SIZE in free_set for i in range(num_frames)):
+                wanted = {base + i * PAGE_SIZE for i in range(num_frames)}
+                self._free = [f for f in self._free if f not in wanted]
+                self._allocated |= wanted
+                return base
+        raise MemoryError_(f"no contiguous run of {num_frames} frames in {self.region}")
+
+    def free(self, frame):
+        self._allocated.discard(frame)
+        self._free.append(frame)
+
+    def reserve(self, base, size):
+        wanted = set(range(base, base + size, PAGE_SIZE))
+        self._free = [f for f in self._free if f not in wanted]
+        self._allocated |= wanted
+
+
+class TestAllocatorEquivalence:
+    """The indexed FrameAllocator hands out the exact same frame sequence as
+    the rebuild-every-call reference, under interleaved alloc / scattered /
+    contiguous / free streams on both fresh and fragmented pools."""
+
+    @pytest.mark.parametrize("scatter", [False, True])
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_random_streams_match(self, scatter, seed):
+        region = MemRegion(0x8000_0000, 512 * PAGE_SIZE)
+        fast = FrameAllocator(region, scatter=scatter, seed=seed)
+        reference = ReferenceAllocator(region, scatter=scatter, seed=seed)
+        rng = random.Random(2000 + seed)
+        live = []
+        for step in range(1200):
+            op = rng.choices(
+                ["alloc", "scattered", "contiguous", "free"],
+                weights=[30, 20, 15, 25],
+            )[0]
+            try:
+                if op == "alloc":
+                    got = fast.alloc()
+                    assert got == reference.alloc(), step
+                    live.append((got, 1))
+                elif op == "scattered":
+                    got = fast.alloc_scattered()
+                    assert got == reference.alloc_scattered(), step
+                    live.append((got, 1))
+                elif op == "contiguous":
+                    frames = rng.choice([1, 2, 4, 8])
+                    align = rng.choice([1, 1, frames])
+                    got = fast.alloc_contiguous(frames, align_frames=align)
+                    assert got == reference.alloc_contiguous(frames, align_frames=align), step
+                    live.append((got, frames))
+                elif live:
+                    base, frames = live.pop(rng.randrange(len(live)))
+                    for i in range(frames):
+                        fast.free(base + i * PAGE_SIZE)
+                        reference.free(base + i * PAGE_SIZE)
+            except MemoryError_:
+                continue
+            assert fast.free_frames == reference.free_frames, step
+        # Drain both: the full remaining order must agree too.
+        while reference.free_frames:
+            assert fast.alloc() == reference.alloc()
+
+    def test_contiguous_reuses_lowest_freed_run(self):
+        region = MemRegion(0x8000_0000, 64 * PAGE_SIZE)
+        alloc = FrameAllocator(region)
+        bases = [alloc.alloc_contiguous(8) for _ in range(8)]
+        assert alloc.free_frames == 0
+        for i in range(8):
+            alloc.free(bases[2] + i * PAGE_SIZE)
+        # The scan floor must drop back to the freed run, not stay past it.
+        assert alloc.alloc_contiguous(8) == bases[2]
+
+    def test_reserve_then_exhaust(self):
+        region = MemRegion(0x8000_0000, 16 * PAGE_SIZE)
+        alloc = FrameAllocator(region)
+        alloc.reserve(region.base, 8 * PAGE_SIZE)
+        with pytest.raises(MemoryError_):
+            alloc.alloc_contiguous(9)
+        assert alloc.alloc_contiguous(8) == region.base + 8 * PAGE_SIZE
+        with pytest.raises(MemoryError_):
+            alloc.alloc()
+
+
+class TestStableHash:
+    def test_known_values(self):
+        # FNV-1a 32-bit test vectors; frozen so stored campaign baselines
+        # stay valid across interpreter upgrades.
+        assert stable_hash("") == 0x811C9DC5
+        assert stable_hash("a") == 0xE40C292C
+        assert stable_hash("key:1") == stable_hash("key:1")
+
+    def test_independent_of_hash_randomization(self):
+        code = (
+            "import sys; sys.path.insert(0, 'src'); "
+            "from repro.workloads.harness import stable_hash; "
+            "print(stable_hash('key:123'))"
+        )
+        outs = {
+            subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+                check=True,
+            ).stdout.strip()
+            for seed in ("1", "2")
+        }
+        assert len(outs) == 1
+
+
+class TestSpeedupContext:
+    def test_summary_records_clamp_context(self, tmp_path):
+        manifest = RunManifest(
+            jobs=4,
+            effective_jobs=1,
+            wall_s=100.0,
+            cells=[
+                CellRecord(
+                    task_id="fig02/counts",
+                    experiment="fig02",
+                    shard="counts",
+                    status="ok",
+                    wall_s=99.0,
+                    worker="1",
+                )
+            ],
+        )
+        summary = bench_summary(manifest, ResultStore(str(tmp_path)), generated_unix=0.0)
+        context = summary["speedup"]
+        assert context["requested_jobs"] == 4
+        assert context["effective_jobs"] == 1
+        assert context["clamped"] is True
+        assert context["vs_sequential"] == summary["speedup_vs_sequential"]
+
+    def test_summary_unclamped(self, tmp_path):
+        manifest = RunManifest(jobs=2, effective_jobs=2, wall_s=50.0)
+        summary = bench_summary(manifest, ResultStore(str(tmp_path)), generated_unix=0.0)
+        assert summary["speedup"]["clamped"] is False
+
+
+class TestProfileCLI:
+    def test_json_report_parses(self, capsys):
+        from repro.runner.profile import main as profile_main
+
+        assert profile_main(["fig02/counts", "--json", "--top", "5"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["target"] == "fig02/counts"
+        assert payload["total_calls"] > 0
+        assert len(payload["functions"]) == 5
+        for row in payload["functions"]:
+            assert {"file", "line", "function", "ncalls", "tottime", "cumtime"} <= set(row)
+
+    def test_unknown_cell_rejected(self):
+        from repro.runner.profile import main as profile_main
+
+        with pytest.raises(SystemExit):
+            profile_main(["fig99/nope"])
