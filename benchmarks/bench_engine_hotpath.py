@@ -7,7 +7,11 @@ dominate campaign wall time and writes ``BENCH_hotpath.json``:
 * ``tlb_hit_hpmp``    — same fast path behind the hybrid checker;
 * ``tlb_miss_pmpt``   — page-granular strides forcing walks + table checks;
 * ``hierarchy_stream``— raw cache-hierarchy fills/evictions (no TLB);
-* ``nested_virt``     — the two-stage guest access path (3D walk).
+* ``nested_virt``     — the two-stage guest access path (3D walk);
+* ``block_hit_pmp``   — the fused block path over the same hot array
+  (``read_run`` spans instead of scalar reads: charges N refs per call);
+* ``block_hierarchy_run`` — raw bulk hierarchy charging (``access_run``
+  line-chunked fills + MRU fusion, no TLB).
 
 Each scenario runs ``repeats`` times and keeps the fastest pass (robust to
 scheduler noise).  ``--check reference.json`` gates against a checked-in
@@ -118,6 +122,48 @@ def scenario_nested_virt() -> Callable[[int], int]:
     return loop
 
 
+def scenario_block_hit(checker_kind: str) -> Callable[[int], int]:
+    """Fused block spans over the same hot array scenario_tlb_hit loops over.
+
+    One ``read_run`` prices 512 references, so the per-reference cost is the
+    bulk path's counter arithmetic — the number to compare against
+    ``tlb_hit_pmp`` to see what run fusion buys.
+    """
+    system = System(machine="rocket", checker_kind=checker_kind, mem_mib=64)
+    arrays = ArrayMap(system)
+    arrays.add("hot", 512)
+    read_run = arrays.read_run
+
+    def loop(iterations: int) -> int:
+        runs = max(1, iterations // 512)
+        for _ in range(runs):
+            read_run("hot", 0, 512)
+        return runs * 512
+
+    loop(2048)  # warm TLB, caches and inlined permissions
+    return loop
+
+
+def scenario_block_hierarchy_run() -> Callable[[int], int]:
+    """Raw bulk hierarchy charging over the 2 MiB stream (8 refs/line)."""
+    system = System(machine="rocket", checker_kind="pmp", mem_mib=64)
+    access_run = system.machine.hierarchy.access_run
+    span = 2 * 1024 * 1024
+    chunk = 4096
+
+    def loop(iterations: int) -> int:
+        done = 0
+        base = 0
+        while done < iterations:
+            access_run(base % span, 8, chunk)
+            base += chunk * 8
+            done += chunk
+        return done
+
+    loop(8192)
+    return loop
+
+
 def _calibration_loop(iterations: int) -> int:
     """Fixed pure-Python work used to normalise for machine speed.
 
@@ -139,6 +185,8 @@ SCENARIOS: Dict[str, Tuple[Callable[[], Callable[[int], int]], int]] = {
     "tlb_miss_pmpt": (lambda: scenario_tlb_miss_pmpt(), 60_000),
     "hierarchy_stream": (lambda: scenario_hierarchy_stream(), 400_000),
     "nested_virt": (lambda: scenario_nested_virt(), 60_000),
+    "block_hit_pmp": (lambda: scenario_block_hit("pmp"), 400_000),
+    "block_hierarchy_run": (lambda: scenario_block_hierarchy_run(), 400_000),
 }
 
 

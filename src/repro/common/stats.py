@@ -50,7 +50,13 @@ class Histogram:
         self._buckets: List[int] = []
 
     def observe(self, value: int, count: int = 1) -> None:
-        """Record *value* (``count`` times).  Negative values are clamped to 0."""
+        """Record *value* (``count`` times).  Negative values are clamped to 0.
+
+        ``count`` is the block-aware entry point: a bulk path that charges N
+        identical references in one pass records them here with one call,
+        leaving every aggregate (count, total, min, max, buckets) exactly as
+        N single observes would.
+        """
         if value < 0:
             value = 0
         index = value.bit_length()

@@ -2,11 +2,14 @@
 
 * :class:`ReferenceEngine` / :class:`Account` — check → charge → account
   stages shared by the native, traced and virtualized access paths.
+* :class:`AccessBlock` / :func:`set_block_mode` — run-length-encoded access
+  spans for the fused bulk path (state-identical to scalar execution).
 * :class:`EngineHook` and friends — pluggable observability over the
   reference stream (zero-cost no-op default).
 * :class:`MetricsSink` — machine-readable per-figure metrics export.
 """
 
+from .block import AccessBlock, block_mode_enabled, set_block_mode
 from .core import (
     Account,
     ReferenceEngine,
@@ -17,6 +20,7 @@ from .hooks import AccessStatsHook, EngineHook, HistogramHook, RecordingHook, Re
 from .metrics import MetricsSink
 
 __all__ = [
+    "AccessBlock",
     "AccessStatsHook",
     "Account",
     "EngineHook",
@@ -26,6 +30,8 @@ __all__ = [
     "RefKind",
     "ReferenceEngine",
     "ReferenceEvent",
+    "block_mode_enabled",
     "register_default_hook_factory",
+    "set_block_mode",
     "unregister_default_hook_factory",
 ]

@@ -86,6 +86,18 @@ class EngineHook:
     def on_access(self, va: int, access: AccessType, cycles: int, tlb_hit: bool, refs: int) -> None:
         """One full timed access completed (machine or guest)."""
 
+    def on_block(self, va: int, stride: int, count: int, access: AccessType, cycles: int) -> None:
+        """A fused bulk charge covered *count* references in one pass.
+
+        Fired by the machine's block path (see :mod:`repro.engine.block`)
+        after it prices a run chunk of ``count`` same-page, same-permission
+        references starting at ``va`` with byte ``stride``.  The chunk is
+        state-identical to ``count`` scalar accesses; a hook that needs the
+        individual references instead should override :meth:`on_reference`
+        or :meth:`on_access` — either forces every access through the
+        scalar pipeline, where the per-event callbacks fire as usual.
+        """
+
     def on_tlb_fill(self, entry, which: str = "dtlb") -> None:
         """A TLB was filled (``which``: ``dtlb`` / ``combined`` / ``gstage``)."""
 
@@ -110,11 +122,15 @@ class RecordingHook(EngineHook):
     def __init__(self) -> None:
         self.references: List[ReferenceEvent] = []
         self.accesses: List[Tuple[int, AccessType, int, bool, int]] = []
+        self.blocks: List[Tuple[int, int, int, AccessType, int]] = []
         self.tlb_fills: List[Tuple[object, str]] = []
         self.faults: List[BaseException] = []
 
     def on_reference(self, kind: RefKind, paddr: int, cycles: int) -> None:
         self.references.append(ReferenceEvent(kind, paddr, cycles))
+
+    def on_block(self, va: int, stride: int, count: int, access: AccessType, cycles: int) -> None:
+        self.blocks.append((va, stride, count, access, cycles))
 
     def on_access(self, va: int, access: AccessType, cycles: int, tlb_hit: bool, refs: int) -> None:
         self.accesses.append((va, access, cycles, tlb_hit, refs))
@@ -131,6 +147,7 @@ class RecordingHook(EngineHook):
     def clear(self) -> None:
         self.references.clear()
         self.accesses.clear()
+        self.blocks.clear()
         self.tlb_fills.clear()
         self.faults.clear()
 

@@ -15,6 +15,55 @@ from ..common.errors import MemoryError_
 from ..common.types import PAGE_SIZE, MemRegion
 
 
+class _LiveIndex:
+    """Fenwick tree over free-list slots: 1 = live frame, 0 = tombstone.
+
+    Lets the allocator answer "which slot holds the k-th live frame?" in
+    O(log n) without compacting the list first — the order-statistics query
+    behind :meth:`FrameAllocator.alloc_scattered`.  Capacity grows by
+    doubling when the list does; rebuilds are O(n) and amortized away.
+    """
+
+    __slots__ = ("size", "tree")
+
+    def __init__(self, flags: List[int]):
+        self.rebuild(flags)
+
+    def rebuild(self, flags: List[int], capacity: int = 0) -> None:
+        """Rebuild over *flags* (index = slot, value = 1 if live)."""
+        size = max(len(flags), capacity, 1)
+        tree = [0] * (size + 1)
+        tree[1 : len(flags) + 1] = flags
+        for i in range(1, size + 1):
+            j = i + (i & -i)
+            if j <= size:
+                tree[j] += tree[i]
+        self.size = size
+        self.tree = tree
+
+    def add(self, index: int, delta: int) -> None:
+        tree = self.tree
+        i = index + 1
+        size = self.size
+        while i <= size:
+            tree[i] += delta
+            i += i & -i
+
+    def select(self, k: int) -> int:
+        """Slot of the k-th (0-based) live frame in list order."""
+        tree = self.tree
+        pos = 0
+        remaining = k + 1
+        bit = 1 << (self.size.bit_length() - 1)
+        while bit:
+            nxt = pos + bit
+            if nxt <= self.size and tree[nxt] < remaining:
+                pos = nxt
+                remaining -= tree[nxt]
+            bit >>= 1
+        return pos  # 0-based slot (pos is 1-based minus the +1 offset)
+
+
 class FrameAllocator:
     """Allocates 4 KiB physical frames from a region.
 
@@ -40,12 +89,14 @@ class FrameAllocator:
         # The free list is the source of truth for *order* (pop / scattered
         # draws); the position index makes membership and mid-list removal
         # O(1).  Removals tombstone their slot with None instead of rebuilding
-        # the list; tombstones are skipped on pop and squeezed out before any
-        # index-sensitive operation, which preserves the exact order (and
-        # therefore the exact allocation sequence) of the rebuild-every-call
-        # implementation this replaces.
+        # the list; tombstones are skipped on pop, and the Fenwick live index
+        # answers the order-statistics query alloc_scattered needs ("slot of
+        # the k-th live frame") without compacting first.  Both preserve the
+        # exact live order — and therefore the exact allocation sequence — of
+        # the compact-before-every-draw implementation this replaces.
         self._pos: Dict[int, int] = {frame: i for i, frame in enumerate(self._free)}
         self._tombstones = 0
+        self._live = _LiveIndex([1] * len(self._free))
         # No free frame lies below the scan floor, so contiguous scans can
         # start there instead of at the region base.  Only free() lowers it.
         self._scan_floor = region.base
@@ -65,13 +116,16 @@ class FrameAllocator:
         self._free = [frame for frame in self._free if frame is not None]
         self._pos = {frame: i for i, frame in enumerate(self._free)}
         self._tombstones = 0
+        self._live.rebuild([1] * len(self._free))
 
     def alloc(self) -> int:
         """Allocate one frame; returns its base PA."""
         pop = self._free.pop
-        while self._free:
+        free = self._free
+        while free:
             frame = pop()
             if frame is not None:
+                self._live.add(len(free), -1)
                 del self._pos[frame]
                 self._allocated.add(frame)
                 return frame
@@ -84,18 +138,33 @@ class FrameAllocator:
         Models a long-running buddy allocator whose free lists are shuffled
         by churn — used for page-table pages in unmodified-kernel baselines,
         whose PT pages end up dispersed through DRAM.
+
+        Equivalent to compacting and then drawing ``randrange(len(free))``,
+        swapping the last free frame into the drawn slot: the draw is over
+        the live count either way, the k-th live frame is found through the
+        Fenwick index instead of by compacting, and the frame moved into the
+        vacated slot is the last *live* frame — so the live order (and every
+        future draw and pop) matches the compacting implementation exactly.
         """
-        if not self._pos:
+        live_count = len(self._pos)
+        if not live_count:
             raise MemoryError_(f"frame allocator exhausted ({self.region})")
-        if self._tombstones:
-            self._compact()  # randrange must see the exact live list
-        index = self._rng.randrange(len(self._free))
-        frame = self._free[index]
-        moved = self._free[-1]
-        self._free[index] = moved
-        self._free.pop()
-        if moved != frame:
-            self._pos[moved] = index
+        free = self._free
+        index = self._rng.randrange(live_count)
+        slot = self._live.select(index) if self._tombstones else index
+        frame = free[slot]
+        # Shed trailing tombstones so the swap source is the last live frame
+        # (their live flags are already clear; popping only shortens the list).
+        while free[-1] is None:
+            free.pop()
+            self._tombstones -= 1
+        last = len(free) - 1
+        moved = free[last]
+        if slot != last:
+            free[slot] = moved
+            self._pos[moved] = slot
+        free.pop()
+        self._live.add(last, -1)
         del self._pos[frame]
         self._allocated.add(frame)
         return frame
@@ -132,8 +201,11 @@ class FrameAllocator:
                 frame += PAGE_SIZE
             if frame == run_end:
                 free = self._free
+                mark = self._live.add
                 for taken in range(base, run_end, PAGE_SIZE):
-                    free[pos.pop(taken)] = None
+                    slot = pos.pop(taken)
+                    free[slot] = None
+                    mark(slot, -1)
                 self._tombstones += num_frames
                 self._allocated.update(range(base, run_end, PAGE_SIZE))
                 if self._tombstones * 2 > len(free):
@@ -148,8 +220,15 @@ class FrameAllocator:
         if frame not in self._allocated:
             raise MemoryError_(f"double free / foreign frame {frame:#x}")
         self._allocated.discard(frame)
-        self._pos[frame] = len(self._free)
+        slot = len(self._free)
+        self._pos[frame] = slot
         self._free.append(frame)
+        if slot >= self._live.size:
+            self._live.rebuild(
+                [1 if f is not None else 0 for f in self._free], capacity=2 * (slot + 1)
+            )
+        else:
+            self._live.add(slot, 1)
         if frame < self._scan_floor:
             self._scan_floor = frame
 
@@ -160,8 +239,11 @@ class FrameAllocator:
         if missing:
             raise MemoryError_(f"reserve: {len(missing)} frames not free (first {min(missing):#x})")
         free = self._free
+        mark = self._live.add
         for frame in wanted:
-            free[self._pos.pop(frame)] = None
+            slot = self._pos.pop(frame)
+            free[slot] = None
+            mark(slot, -1)
         self._tombstones += len(wanted)
         self._allocated |= wanted
         if self._tombstones * 2 > len(free):

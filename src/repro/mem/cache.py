@@ -131,6 +131,17 @@ class Cache:
         cset.insert(0, line)
         return False
 
+    def mru_hits(self, count: int) -> None:
+        """Account *count* repeat hits on the current MRU line (bulk touch).
+
+        A ``lookup_fill`` hit on ``cset[0]`` mutates nothing but the hit
+        counter, so N consecutive references to the line the previous
+        reference just made MRU fold into one integer add.  Only valid
+        under that regime — the hierarchy's ``access_run`` establishes it
+        by issuing the first reference of each line through ``access``.
+        """
+        self._hits += count
+
     def probe(self, paddr: int, update_lru: bool = True) -> bool:
         """Return True (hit) if the line holding *paddr* is resident.
 

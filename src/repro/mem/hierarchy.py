@@ -56,6 +56,8 @@ class MemoryHierarchy:
         self._l2_lat = params.l2.hit_latency
         self._llc_lat = params.llc.hit_latency
         self._dram_lat = params.dram_latency
+        self._l1d_shift = self.l1d._line_shift
+        self._l1i_shift = self.l1i._line_shift
 
     def _publish_stats(self) -> None:
         """Sync point: fold pending reference counts into the StatGroup."""
@@ -91,6 +93,69 @@ class MemoryHierarchy:
             return cycles
         self._dram_refs += 1
         return cycles + self._dram_lat
+
+    def access_run(self, paddr: int, stride: int, count: int, instruction: bool = False) -> int:
+        """Charge *count* references at ``paddr, paddr+stride, ...``; returns cycles.
+
+        State-identical to *count* :meth:`access` calls: the first reference
+        to each cache line goes through :meth:`access` (fills, evictions and
+        miss counters happen exactly as scalar), and the follow-on references
+        that land on the same line — which :meth:`access` just made MRU in
+        the L1 — are charged as the MRU hits they would be: one L1 hit
+        latency, one hierarchy ref, one L1 hit count each, zero mutation
+        (see :meth:`~repro.mem.cache.Cache.mru_hits`).  Negative strides are
+        the caller's job to reject (run encodings only produce ``stride >= 0``).
+        """
+        if count <= 0:
+            return 0
+        if instruction:
+            cache = self.l1i
+            lat = self._l1i_lat
+            shift = self._l1i_shift
+        else:
+            cache = self.l1d
+            lat = self._l1d_lat
+            shift = self._l1d_shift
+        access = self.access
+        total = 0
+        i = 0
+        while i < count:
+            pa = paddr + i * stride
+            total += access(pa, instruction)
+            if stride:
+                # References still on pa's line: pa, pa+stride, ... < line end.
+                line_end = ((pa >> shift) + 1) << shift
+                n = (line_end - pa + stride - 1) // stride
+                if n > count - i:
+                    n = count - i
+            else:
+                n = count - i
+            if n > 1:
+                k = n - 1
+                self._refs += k
+                cache.mru_hits(k)
+                total += k * lat
+            i += n
+        return total
+
+    def mru_run(self, count: int, instruction: bool = False) -> int:
+        """Charge *count* follow-on hits to the line the last reference made MRU.
+
+        Caller contract: the immediately preceding :meth:`access` on this
+        side (L1I for instruction, L1D otherwise) touched the line every one
+        of these *count* references lands on, so the line sits at MRU in that
+        L1.  Each reference is then exactly the scalar hit it would have
+        been — one hierarchy ref, one L1 hit, one L1 hit latency, zero
+        mutation — charged without re-probing the hierarchy.
+        """
+        if count <= 0:
+            return 0
+        self._refs += count
+        if instruction:
+            self.l1i.mru_hits(count)
+            return count * self._l1i_lat
+        self.l1d.mru_hits(count)
+        return count * self._l1d_lat
 
     def peek_latency(self, paddr: int, instruction: bool = False) -> int:
         """Latency ``access`` would charge, without changing any state.

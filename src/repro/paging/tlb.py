@@ -155,6 +155,29 @@ class TLB:
         self._s_misses += 1
         return None, self._l1_lat + self._l2_lat
 
+    def peek_l1(self, va: int, asid: int = 0) -> Optional[TLBEntry]:
+        """Stat-free, recency-free L1 probe (bulk-path eligibility check).
+
+        Returns the resident L1 entry or None without touching LRU order or
+        any counter, so a caller can decide between the fused bulk charge
+        and the scalar path without perturbing observable state.  An entry
+        resident only in the L2 returns None — the scalar path must run so
+        the promotion (and its latency) happens exactly as usual.
+        """
+        return self._l1_map.get((asid, va >> PAGE_SHIFT))
+
+    def charge_l1_hits(self, va: int, asid: int, count: int) -> int:
+        """Account *count* L1 hits on one entry; returns the cycles charged.
+
+        State-identical to *count* :meth:`lookup` L1 hits on the same key:
+        ``move_to_end`` is idempotent, so one call equals N, and the hit
+        counter and latency are linear.  Only valid when :meth:`peek_l1`
+        just returned the entry (the key must be L1-resident).
+        """
+        self._l1_map.move_to_end((asid, va >> PAGE_SHIFT))
+        self._s_l1_hits += count
+        return count * self._l1_lat
+
     def fill(self, entry: TLBEntry) -> None:
         """Install a translation into both levels."""
         key = (entry.asid, entry.vpn)

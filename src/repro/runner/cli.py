@@ -51,6 +51,13 @@ def build_parser() -> argparse.ArgumentParser:
         "existing counters (zero hot-path cost, default), full = per-reference "
         "histograms via an engine hook (slower)",
     )
+    parser.add_argument(
+        "--no-block",
+        action="store_true",
+        help="pin the scalar per-reference pipeline instead of the fused block "
+        "execution paths (rows are byte-identical either way; this is the "
+        "parity escape hatch, at scalar-path wall time)",
+    )
     parser.add_argument("--store", default=DEFAULT_STORE_DIR, metavar="DIR", help=f"results store directory (default {DEFAULT_STORE_DIR})")
     parser.add_argument("--manifest", default=DEFAULT_MANIFEST, metavar="PATH", help=f"where to write the run manifest (default {DEFAULT_MANIFEST})")
     parser.add_argument("--summary", default=DEFAULT_SUMMARY, metavar="PATH", help=f"where to write the campaign summary (default {DEFAULT_SUMMARY})")
@@ -119,6 +126,16 @@ def bench_summary(manifest: RunManifest, store: ResultStore, generated_unix: Opt
             else None,
         },
         "cell_wall_s": {c.task_id: round(c.wall_s, 3) for c in manifest.cells},
+        # Simulated-reference throughput per executed cell: how many timed
+        # references the cell priced per wall second.  Comparing a --no-block
+        # summary against a block one turns this into the scalar-vs-block
+        # speedup per cell (the reference counts themselves are identical).
+        "cell_refs_per_s": {
+            c.task_id: round(c.telemetry.get("hierarchy.refs", 0) / c.wall_s, 1)
+            for c in manifest.cells
+            if c.wall_s > 0 and c.telemetry.get("hierarchy.refs")
+        },
+        "block_mode": manifest.block,
         "failed_cells": [c.task_id for c in manifest.failed],
         "headline": _headline(store, manifest),
         "telemetry": telemetry.snapshot(),
@@ -151,6 +168,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         label=args.label,
         progress=_progress,
         telemetry=args.telemetry,
+        block=not args.no_block,
     )
     if pool.effective_jobs < pool.jobs:
         print(

@@ -92,6 +92,7 @@ class RunManifest:
     jobs: int = 1  # requested worker count
     effective_jobs: int = 1  # after clamping to available CPUs
     telemetry: str = "light"  # per-cell engine telemetry level
+    block: bool = True  # machines took the fused block path (--no-block clears)
     filters: List[str] = field(default_factory=list)
     resume: bool = False
     timeout_s: float = 0.0
@@ -137,6 +138,7 @@ class RunManifest:
             "jobs": self.jobs,
             "effective_jobs": self.effective_jobs,
             "telemetry": self.telemetry,
+            "block": self.block,
             "filters": list(self.filters),
             "resume": self.resume,
             "timeout_s": self.timeout_s,
@@ -160,6 +162,7 @@ class RunManifest:
             jobs=int(data.get("jobs", 1)),
             effective_jobs=int(data.get("effective_jobs", data.get("jobs", 1))),
             telemetry=str(data.get("telemetry", "light")),
+            block=bool(data.get("block", True)),
             filters=[str(f) for f in data.get("filters", [])],  # type: ignore[union-attr]
             resume=bool(data.get("resume", False)),
             timeout_s=float(data.get("timeout_s", 0.0)),

@@ -77,7 +77,9 @@ def _pool_context():
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
-def _run_cell(spec: TaskSpec, store_root: str, version: str, telemetry: str = "light") -> Dict[str, object]:
+def _run_cell(
+    spec: TaskSpec, store_root: str, version: str, telemetry: str = "light", block: bool = True
+) -> Dict[str, object]:
     """Execute one cell and persist its payload; returns the manifest facts.
 
     Runs inside the worker process (and inline when ``jobs=1``): the store
@@ -86,7 +88,7 @@ def _run_cell(spec: TaskSpec, store_root: str, version: str, telemetry: str = "l
     """
     start = time.perf_counter()
     store = ResultStore(store_root, version=version)
-    rows, stats = execute(spec, telemetry=telemetry)
+    rows, stats = execute(spec, telemetry=telemetry, block=block)
     payload = store.build_payload(spec, rows, stats)
     key = store.key_for(spec)
     store.put(key, payload)
@@ -102,10 +104,10 @@ def _run_cell(spec: TaskSpec, store_root: str, version: str, telemetry: str = "l
     }
 
 
-def _worker_entry(spec: TaskSpec, store_root: str, version: str, telemetry: str, conn) -> None:
+def _worker_entry(spec: TaskSpec, store_root: str, version: str, telemetry: str, block: bool, conn) -> None:
     """Worker process body: run the cell, report over the pipe, exit."""
     try:
-        message = _run_cell(spec, store_root, version, telemetry)
+        message = _run_cell(spec, store_root, version, telemetry, block)
     except BaseException:
         message = {
             "status": STATUS_ERROR,
@@ -131,6 +133,7 @@ class CampaignPool:
         label: str = "campaign",
         progress: Optional[ProgressFn] = None,
         telemetry: str = "light",
+        block: bool = True,
     ):
         if telemetry not in TELEMETRY_LEVELS:
             raise ValueError(f"telemetry must be one of {TELEMETRY_LEVELS}, got {telemetry!r}")
@@ -145,6 +148,7 @@ class CampaignPool:
         self.label = label
         self.progress = progress
         self.telemetry = telemetry
+        self.block = bool(block)
 
     # -- public API ----------------------------------------------------------
 
@@ -174,6 +178,7 @@ class CampaignPool:
             jobs=self.jobs,
             effective_jobs=self.effective_jobs,
             telemetry=self.telemetry,
+            block=self.block,
             resume=resume,
             timeout_s=self.timeout_s,
             retries=self.retries,
@@ -231,7 +236,7 @@ class CampaignPool:
             spec, attempt = pending.popleft()
             start = time.perf_counter()
             try:
-                message = _run_cell(spec, str(self.store.root), self.store.version, self.telemetry)
+                message = _run_cell(spec, str(self.store.root), self.store.version, self.telemetry, self.block)
                 message["worker"] = "inline"
             except BaseException:
                 message = {
@@ -280,7 +285,7 @@ class CampaignPool:
         receiver, sender = context.Pipe(duplex=False)
         process = context.Process(
             target=_worker_entry,
-            args=(spec, str(self.store.root), self.store.version, self.telemetry, sender),
+            args=(spec, str(self.store.root), self.store.version, self.telemetry, self.block, sender),
             daemon=True,
             name=f"repro-runner-{spec.task_id}",
         )

@@ -32,13 +32,28 @@ SCHEMA_VERSION = 1
 DEFAULT_STORE_DIR = os.path.join("benchmarks", "results", "store")
 
 
-def code_version() -> str:
+#: Process-wide memo for :func:`code_version` — the sources cannot change
+#: under a running campaign (any change would invalidate the cache anyway),
+#: so the package tree is hashed at most once per process instead of once
+#: per :class:`ResultStore` construction.
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version(refresh: bool = False) -> str:
     """``repro.__version__`` plus a short digest over the package sources.
 
     Hashes every ``.py`` file under the installed ``repro`` package in a
     path-sorted, content-delimited stream, so the result is stable across
     machines and checkouts but changes whenever any source line does.
+
+    The result is computed once per process (the campaign pool additionally
+    threads it from the parent to every worker, so workers skip the walk
+    entirely); pass ``refresh=True`` to force a re-hash after editing
+    sources in a live interpreter.
     """
+    global _CODE_VERSION
+    if _CODE_VERSION is not None and not refresh:
+        return _CODE_VERSION
     import repro
 
     package_root = Path(repro.__file__).resolve().parent
@@ -48,7 +63,8 @@ def code_version() -> str:
         digest.update(b"\0")
         digest.update(path.read_bytes())
         digest.update(b"\0")
-    return f"{repro.__version__}+src.{digest.hexdigest()[:12]}"
+    _CODE_VERSION = f"{repro.__version__}+src.{digest.hexdigest()[:12]}"
+    return _CODE_VERSION
 
 
 class ResultStore:

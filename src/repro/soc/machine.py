@@ -34,8 +34,9 @@ from typing import Iterable, Optional, Tuple
 from ..common.errors import AccessFault, PageFault
 from ..common.params import MachineParams
 from ..common.stats import StatGroup
-from ..common.types import PAGE_MASK, PAGE_SHIFT, AccessType, PrivilegeMode
+from ..common.types import PAGE_MASK, PAGE_SHIFT, PAGE_SIZE, AccessType, PrivilegeMode
 from ..engine import Account, RefKind, ReferenceEngine
+from ..engine.block import AccessBlock, block_mode_enabled
 from ..isolation.checker import IsolationChecker
 from ..isolation.factory import NullChecker
 from ..mem.hierarchy import MemoryHierarchy
@@ -89,6 +90,11 @@ class Machine:
     checker:
         Isolation checker; defaults to :class:`NullChecker` until
         ``attach_checker`` is called.
+    block_mode:
+        Enable the fused bulk path behind :meth:`access_run` /
+        :meth:`access_block`.  ``None`` (the default) reads the
+        process-wide setting (:func:`repro.engine.block.block_mode_enabled`);
+        pass ``False`` to pin this machine to the scalar pipeline.
     """
 
     def __init__(
@@ -97,6 +103,7 @@ class Machine:
         memory: PhysicalMemory,
         checker: Optional[IsolationChecker] = None,
         seed: int = 0,
+        block_mode: Optional[bool] = None,
     ):
         self.params = params
         self.memory = memory
@@ -117,6 +124,12 @@ class Machine:
         self.stats = StatGroup("machine", sync=self._publish_stats)
         self._tlb_lookup = self.tlb.lookup
         self._hier_access = self.hierarchy.access
+        # Block execution: resolved once at construction (the runner sets the
+        # process-wide mode before building the System), plus the bulk-path
+        # bindings access_run uses per chunk.
+        self.block_mode = block_mode_enabled() if block_mode is None else bool(block_mode)
+        self._tlb_peek = self.tlb.peek_l1
+        self._tlb_charge = self.tlb.charge_l1_hits
         # One pooled Account, reset per general-path access (see
         # engine.Account.reset): nothing retains it past the access.
         self._acct = Account()
@@ -366,6 +379,174 @@ class Machine:
         """
         return self._access_core(page_table, va, access, priv, asid)[0]
 
+    def access_run(
+        self,
+        page_table: PageTable,
+        va: int,
+        stride: int,
+        count: int,
+        access: AccessType = AccessType.READ,
+        priv: PrivilegeMode = PrivilegeMode.USER,
+        asid: int = 0,
+        extra_cycles: int = 0,
+    ) -> Tuple[int, int, int, int]:
+        """Charge *count* references at ``va, va+stride, ...`` in one call.
+
+        Returns ``(cycles, tlb_hits, pt_refs, checker_refs)`` — exactly what
+        *count* scalar :meth:`access` calls would have accumulated, because
+        the fused charge only ever fires in the invariant regime: L1-TLB hit
+        with an inlined checker permission that allows the access, chunked at
+        page boundaries, with the per-line residency handled by
+        :meth:`~repro.mem.hierarchy.MemoryHierarchy.access_run`.  Any
+        reference outside the regime (TLB miss, L2-only residency, missing
+        inlined permission, permission denial — including the fault it must
+        raise with exact scalar state) is delegated to the scalar core one
+        access at a time, then the run resumes.
+
+        The bulk path is skipped entirely — a plain scalar loop runs — when
+        block mode is off, the stride is negative (runs are emitted
+        ascending; a negative stride would walk chunks backwards through a
+        line), TLB inlining is disabled, or a per-reference/per-access hook
+        is installed (those hooks must observe each reference individually).
+        """
+        if count <= 0:
+            return (0, 0, 0, 0)
+        core = self._access_core
+        if count == 1:
+            # A one-reference run is the scalar access — skip the regime
+            # machinery entirely (workloads emit many singleton runs).
+            c, _pa, h, p, k = core(page_table, va, access, priv, asid, extra_cycles)
+            return c, (1 if h else 0), p, k
+        engine = self.engine
+        if (
+            not self.block_mode
+            or stride < 0
+            or not self.params.tlb_inlining
+            or engine._ref_hooks
+            or engine._access_hooks
+        ):
+            cycles = hits = pt = ck = 0
+            for i in range(count):
+                c, _pa, h, p, k = core(page_table, va + i * stride, access, priv, asid, extra_cycles)
+                cycles += c
+                pt += p
+                ck += k
+                if h:
+                    hits += 1
+            return cycles, hits, pt, ck
+        peek = self._tlb_peek
+        charge = self._tlb_charge
+        hier_run = self.hierarchy.access_run
+        is_fetch = access is AccessType.FETCH
+        block_hooks = engine._block_hooks
+        total = 0
+        hits = pt_refs = checker_refs = 0
+        i = 0
+        if stride == 0:
+            # Zero-stride run: one scalar access establishes everything the
+            # rest of the run needs — the L1-TLB entry (inserted on miss),
+            # the inlined checker permission (set by leaf_check), and the
+            # line at MRU in the L1 cache.  The remaining count-1 identical
+            # references are then L1-TLB + MRU-line hits by construction,
+            # whether or not the first reference hit.  The access type was
+            # just allowed (core returned instead of faulting), so no perm
+            # re-check is needed.
+            c, _pa, h, p, k = core(page_table, va, access, priv, asid, extra_cycles)
+            total += c
+            pt_refs += p
+            checker_refs += k
+            if h:
+                hits += 1
+            i = 1
+            entry = peek(va, asid)
+            if entry is not None and entry.checker_perm is not None:
+                n = count - 1
+                cyc = charge(va, asid, n) + n * extra_cycles
+                cyc += self.hierarchy.mru_run(n, is_fetch)
+                self._s_accesses += n
+                self._s_cycles += cyc
+                total += cyc
+                hits += n
+                if block_hooks:
+                    engine.block_done(va, 0, n, access, cyc)
+                return total, hits, pt_refs, checker_refs
+            # Checker perm not inlined (scheme without per-page perms):
+            # fall through to the generic loop for the remaining references.
+        while i < count:
+            cur = va + i * stride
+            entry = peek(cur, asid)
+            if entry is None or entry.checker_perm is None:
+                c, _pa, h, p, k = core(page_table, cur, access, priv, asid, extra_cycles)
+                total += c
+                pt_refs += p
+                checker_refs += k
+                if h:
+                    hits += 1
+                i += 1
+                continue
+            if stride:
+                # References still on cur's page: cur, cur+stride, ... < page end.
+                n = (PAGE_SIZE - (cur & PAGE_MASK) + stride - 1) // stride
+                if n > count - i:
+                    n = count - i
+            else:
+                n = count - i
+            perm = entry.perm
+            checker_perm = entry.checker_perm
+            if access is AccessType.READ:
+                ok = perm.r and checker_perm.r
+            elif access is AccessType.WRITE:
+                ok = perm.w and checker_perm.w
+            else:
+                ok = perm.x and checker_perm.x
+            if not ok:
+                # The scalar core raises the right fault with exact state.
+                c, _pa, h, p, k = core(page_table, cur, access, priv, asid, extra_cycles)
+                total += c
+                pt_refs += p
+                checker_refs += k
+                if h:
+                    hits += 1
+                i += 1
+                continue
+            cyc = charge(cur, asid, n) + n * extra_cycles
+            cyc += hier_run((entry.ppn << PAGE_SHIFT) | (cur & PAGE_MASK), stride, n, is_fetch)
+            self._s_accesses += n
+            self._s_cycles += cyc
+            hits += n
+            total += cyc
+            if block_hooks:
+                engine.block_done(cur, stride, n, access, cyc)
+            i += n
+        return total, hits, pt_refs, checker_refs
+
+    def access_block(
+        self,
+        page_table: PageTable,
+        block: AccessBlock,
+        priv: PrivilegeMode = PrivilegeMode.USER,
+        asid: int = 0,
+        extra_cycles: int = 0,
+    ) -> Tuple[int, int, int, int]:
+        """Charge every run in *block*; returns summed access_run tuples."""
+        run = self.access_run
+        core = self._access_core
+        cycles = hits = pt_refs = checker_refs = 0
+        for va, stride, count, access in block.runs:
+            if count == 1:
+                # Most workload blocks are dominated by singleton runs;
+                # dispatch them to the scalar core without the run wrapper.
+                c, _pa, h, p, k = core(page_table, va, access, priv, asid, extra_cycles)
+                if h:
+                    hits += 1
+            else:
+                c, h, p, k = run(page_table, va, stride, count, access, priv, asid, extra_cycles)
+                hits += h
+            cycles += c
+            pt_refs += p
+            checker_refs += k
+        return cycles, hits, pt_refs, checker_refs
+
     def run_trace(
         self,
         page_table: PageTable,
@@ -382,16 +563,62 @@ class Machine:
 
         This is the batched fast path: a single loop over the engine core
         with locals bound, no per-access :class:`AccessResult` allocation.
+        Under block mode it additionally run-length-encodes the trace on the
+        fly — consecutive same-type references with a constant non-negative
+        stride become one :meth:`access_run` call — which is state-identical
+        because access_run itself is (a fused charge only in the invariant
+        regime, scalar fallback everywhere else).
         """
         core = self._access_core  # bind once; the loop is the hot path
         cpa = compute_cycles_per_access
+        engine = self.engine
         accesses = cycles = pt_refs = checker_refs = tlb_hits = 0
+        if (
+            not self.block_mode
+            or not self.params.tlb_inlining
+            or engine._ref_hooks
+            or engine._access_hooks
+        ):
+            for va, access in trace:
+                c, _paddr, hit, pt, ck = core(page_table, va, access, priv, asid, cpa)
+                accesses += 1
+                cycles += c
+                pt_refs += pt
+                checker_refs += ck
+                if hit:
+                    tlb_hits += 1
+            return TraceResult(accesses, cycles, pt_refs, checker_refs, tlb_hits)
+        run = self.access_run
+        run_va = run_stride = run_count = last_va = 0
+        run_access: Optional[AccessType] = None
         for va, access in trace:
-            c, _paddr, hit, pt, ck = core(page_table, va, access, priv, asid, cpa)
-            accesses += 1
+            if run_access is access:
+                step = va - last_va
+                if run_count == 1 and step >= 0:
+                    run_stride = step
+                    run_count = 2
+                    last_va = va
+                    continue
+                if step == run_stride and run_stride >= 0:
+                    run_count += 1
+                    last_va = va
+                    continue
+            if run_access is not None:
+                c, h, p, k = run(page_table, run_va, run_stride, run_count, run_access, priv, asid, cpa)
+                accesses += run_count
+                cycles += c
+                tlb_hits += h
+                pt_refs += p
+                checker_refs += k
+            run_va = last_va = va
+            run_access = access
+            run_stride = 0
+            run_count = 1
+        if run_access is not None:
+            c, h, p, k = run(page_table, run_va, run_stride, run_count, run_access, priv, asid, cpa)
+            accesses += run_count
             cycles += c
-            pt_refs += pt
-            checker_refs += ck
-            if hit:
-                tlb_hits += 1
+            tlb_hits += h
+            pt_refs += p
+            checker_refs += k
         return TraceResult(accesses, cycles, pt_refs, checker_refs, tlb_hits)

@@ -103,19 +103,32 @@ class EnclaveRuntime:
         if pages == 0:
             return 0
         space.map_from(frames, va, pages * PAGE_SIZE, perm)
-        cycles = 0
-        for i in range(pages):
-            cycles += self.kernel.write_pte(space.page_table.pt_pages[-1], i)
-        return cycles
+        # map_from finishes before any timed store, so pt_pages[-1] is one
+        # fixed page and the per-page PTE stores fold into one run.
+        return self.kernel.write_pte_run(space.page_table.pt_pages[-1], 0, pages)
 
     def access(self, handle: EnclaveHandle, va: int, access: AccessType = AccessType.READ) -> int:
         """One timed user access inside the enclave; returns cycles."""
         if not handle.alive:
             raise MonitorError("enclave already destroyed")
-        result = self.system.machine.access(
-            handle.space.page_table, va, access, U, asid=handle.space.asid
-        )
-        return result.cycles
+        return self.system.machine._access_core(
+            handle.space.page_table, va, access, U, handle.space.asid
+        )[0]
+
+    def access_run(
+        self,
+        handle: EnclaveHandle,
+        va: int,
+        stride: int,
+        count: int,
+        access: AccessType = AccessType.READ,
+    ) -> int:
+        """A timed run of *count* enclave accesses (one block-API call)."""
+        if not handle.alive:
+            raise MonitorError("enclave already destroyed")
+        return self.system.machine.access_run(
+            handle.space.page_table, va, stride, count, access, U, handle.space.asid
+        )[0]
 
     def destroy(self, handle: EnclaveHandle) -> int:
         """Exit and tear down the enclave; returns cycles spent."""

@@ -28,6 +28,7 @@ from ..common.errors import GuestPageFault
 from ..common.stats import StatGroup
 from ..common.types import PAGE_MASK, PAGE_SHIFT, PAGE_SIZE, AccessType, Permission, PrivilegeMode
 from ..engine import Account, RefKind
+from ..engine.block import AccessBlock
 from ..mem.physical import PhysicalMemory
 from ..paging.pagetable import PageTable
 from ..paging.tlb import TLB, TLBEntry
@@ -275,6 +276,69 @@ class VirtualMachine:
         if engine._access_hooks:
             engine.access_done(gva, access, cycles, False, refs)
         return GuestAccessResult(cycles, hpa_data, False, refs, acct.checker_refs)
+
+    def access_run(self, gva: int, stride: int, count: int, access: AccessType = AccessType.READ) -> int:
+        """Charge *count* guest references at ``gva, gva+stride, ...``; returns cycles.
+
+        The virtualized counterpart of :meth:`Machine.access_run
+        <repro.soc.machine.Machine.access_run>`: a chunk whose combined-TLB
+        entry is L1-resident folds into one bulk charge (the scalar hit path
+        performs no permission check and touches no Account state that
+        outlives the access), and everything else — combined-TLB miss,
+        L2-only residency — goes through the scalar 3D walk one access at a
+        time.  Guarded by the host machine's block mode and hook set.
+        """
+        if count <= 0:
+            return 0
+        machine = self.machine
+        engine = self.engine
+        if (
+            not machine.block_mode
+            or stride < 0
+            or engine._ref_hooks
+            or engine._access_hooks
+        ):
+            total = 0
+            for i in range(count):
+                total += self.access(gva + i * stride, access).cycles
+            return total
+        peek = self.combined_tlb.peek_l1
+        charge = self.combined_tlb.charge_l1_hits
+        hier_run = machine.hierarchy.access_run
+        block_hooks = engine._block_hooks
+        total = 0
+        i = 0
+        while i < count:
+            cur = gva + i * stride
+            entry = peek(cur)
+            if entry is None:
+                total += self.access(cur, access).cycles
+                i += 1
+                continue
+            if stride:
+                n = (PAGE_SIZE - (cur & PAGE_MASK) + stride - 1) // stride
+                if n > count - i:
+                    n = count - i
+            else:
+                n = count - i
+            cyc = charge(cur, 0, n)
+            cyc += hier_run((entry.ppn << PAGE_SHIFT) | (cur & PAGE_MASK), stride, n, False)
+            self._s_accesses += n
+            self._s_tlb_hits += n
+            self._s_cycles += cyc
+            total += cyc
+            if block_hooks:
+                engine.block_done(cur, stride, n, access, cyc)
+            i += n
+        return total
+
+    def access_block(self, block: AccessBlock) -> int:
+        """Charge every run in *block* through :meth:`access_run`; returns cycles."""
+        run = self.access_run
+        total = 0
+        for gva, stride, count, access in block.runs:
+            total += run(gva, stride, count, access)
+        return total
 
     #: Paper-compatible name for :meth:`access` (the hlv.d probe).
     guest_access = access

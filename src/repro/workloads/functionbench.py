@@ -94,33 +94,50 @@ class ServerlessNode:
             return self._invoke_enclave(profile)
         return self._invoke_host(profile)
 
-    def _run_body(self, profile: FunctionProfile, fetch, read, write, rng) -> int:
-        """The function body: import phase then the compute/access loop."""
+    def _run_body(self, profile: FunctionProfile, frun, drun, rng) -> int:
+        """The function body: import phase then the compute/access loop.
+
+        ``frun(off, stride, count)`` fetches and ``drun(off, stride, count,
+        access)`` reads/writes a run of heap addresses — the block API lets
+        the import phase (one stride-2048 sequence over the code pages) and
+        each wrap-segment of the sequential scan go down in a single call,
+        with the same per-reference addresses as the old scalar closures.
+        """
         cycles = 0
-        # Import: touch the code pages (cold instruction fetches).
-        for page in range(profile.import_pages):
-            cycles += fetch(page * PAGE_SIZE)
-            cycles += fetch(page * PAGE_SIZE + 2048)
+        # Import: touch the code pages (cold instruction fetches).  Two
+        # fetches per 4 KiB page at offsets 0 and 2048 form one arithmetic
+        # sequence of stride 2048.
+        if profile.import_pages:
+            cycles += frun(0, 2048, 2 * profile.import_pages)
         heap_bytes = profile.heap_pages * PAGE_SIZE
+        cpa = profile.compute_per_access
         for _ in range(profile.body_iterations):
             offset = 0
-            step = max(64, heap_bytes // max(profile.sequential_accesses, 1))
-            for _ in range(profile.sequential_accesses):
-                cycles += read(offset % heap_bytes)
-                cycles += profile.compute_per_access
-                offset += step
+            seq = profile.sequential_accesses
+            step = max(64, heap_bytes // max(seq, 1))
+            remaining = seq
+            while remaining:
+                cur = offset % heap_bytes
+                count = min(remaining, 1 + (heap_bytes - 1 - cur) // step)
+                cycles += drun(cur, step, count, AccessType.READ)
+                offset += count * step
+                remaining -= count
+            cycles += seq * cpa
             for _ in range(profile.random_accesses):
-                cycles += write(rng.randrange(heap_bytes // 8) * 8)
-                cycles += profile.compute_per_access
+                cycles += drun(rng.randrange(heap_bytes // 8) * 8, 0, 1, AccessType.WRITE)
+                cycles += cpa
         return cycles
 
     def _invoke_enclave(self, profile: FunctionProfile) -> FunctionResult:
         rng = random.Random(self.seed ^ stable_hash(profile.name) & 0xFFFF)
         handle = self.runtime.launch(profile.name, profile.text_pages, profile.heap_pages)
-        fetch = lambda off: self.runtime.access(handle, ENCLAVE_TEXT_VA + off, AccessType.FETCH)  # noqa: E731
-        read = lambda off: self.runtime.access(handle, ENCLAVE_HEAP_VA + off, AccessType.READ)  # noqa: E731
-        write = lambda off: self.runtime.access(handle, ENCLAVE_HEAP_VA + off, AccessType.WRITE)  # noqa: E731
-        body = self._run_body(profile, fetch, read, write, rng)
+        frun = lambda off, stride, count: self.runtime.access_run(  # noqa: E731
+            handle, ENCLAVE_TEXT_VA + off, stride, count, AccessType.FETCH
+        )
+        drun = lambda off, stride, count, access: self.runtime.access_run(  # noqa: E731
+            handle, ENCLAVE_HEAP_VA + off, stride, count, access
+        )
+        body = self._run_body(profile, frun, drun, rng)
         teardown = self.runtime.destroy(handle)
         return FunctionResult(
             profile.name,
@@ -141,16 +158,20 @@ class ServerlessNode:
         machine = self.system.machine
         from ..workloads.kernel import USER_HEAP_VA, USER_TEXT_VA
 
-        def fetch(off):
-            return machine.access(proc.space.page_table, USER_TEXT_VA + off, AccessType.FETCH, asid=proc.space.asid).cycles
+        page_table = proc.space.page_table
+        asid = proc.space.asid
 
-        def read(off):
-            return machine.access(proc.space.page_table, USER_HEAP_VA + off, AccessType.READ, asid=proc.space.asid).cycles
+        def frun(off, stride, count):
+            return machine.access_run(
+                page_table, USER_TEXT_VA + off, stride, count, AccessType.FETCH, asid=asid
+            )[0]
 
-        def write(off):
-            return machine.access(proc.space.page_table, USER_HEAP_VA + off, AccessType.WRITE, asid=proc.space.asid).cycles
+        def drun(off, stride, count, access):
+            return machine.access_run(
+                page_table, USER_HEAP_VA + off, stride, count, access, asid=asid
+            )[0]
 
-        body = self._run_body(profile, fetch, read, write, rng)
+        body = self._run_body(profile, frun, drun, rng)
         teardown = kernel.exit_process(proc)
         return FunctionResult(profile.name, self.system.checker_kind, False, launch, body, teardown)
 

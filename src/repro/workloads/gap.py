@@ -94,16 +94,19 @@ class GAPWorkload:
     # -- traced CSR primitives ------------------------------------------------
 
     def _scan_vertex(self, v: int) -> List[int]:
-        """Read offsets[v], offsets[v+1] and the adjacency slice (timed)."""
-        self.arrays.read("offsets", v)
-        self.arrays.read("offsets", v + 1)
+        """Read offsets[v], offsets[v+1] and the adjacency slice (timed).
+
+        The CSR scan is the GAP hot loop, so both the offset pair and the
+        adjacency slice go through the block API as unit-stride runs — the
+        same references in the same order as the old per-element loop.
+        """
+        self.arrays.read_run("offsets", v, 2)
         start, end = self.graph.offsets[v], self.graph.offsets[v + 1]
-        out = []
-        for idx in range(start, end):
-            self.arrays.read("neighbors", idx)
-            self.arrays.compute(COMPUTE_PER_EDGE)
-            out.append(self.graph.neighbors[idx])
-        return out
+        deg = end - start
+        if deg:
+            self.arrays.read_run("neighbors", start, deg)
+            self.arrays.compute(COMPUTE_PER_EDGE * deg)
+        return self.graph.neighbors[start:end]
 
     # -- kernels ---------------------------------------------------------------
 

@@ -16,6 +16,7 @@ from typing import Dict, Optional
 
 from ..common.errors import WorkloadError
 from ..common.types import PAGE_SIZE, AccessType, Permission, PrivilegeMode
+from ..engine.block import AccessBlock
 from ..mem.allocator import FrameAllocator
 from ..soc.system import AddressSpace, System
 
@@ -78,6 +79,7 @@ class ArrayMap:
         # and the machine core, page table and ASID are fixed for the
         # harness lifetime.
         self._access_core = system.machine._access_core
+        self._access_run = system.machine.access_run
         self._page_table = self.space.page_table
         self._asid = self.space.asid
 
@@ -125,6 +127,41 @@ class ArrayMap:
         self.accesses += 1
         return cycles
 
+    def read_run(self, name: str, index: int, count: int, stride_elems: int = 1) -> int:
+        """Timed read of *count* elements from *index* on; returns cycles.
+
+        One :meth:`Machine.access_run <repro.soc.machine.Machine.access_run>`
+        span instead of *count* scalar reads — byte-identical timing and
+        state, one Python call.
+        """
+        return self._run(name, index, count, stride_elems, _READ)
+
+    def write_run(self, name: str, index: int, count: int, stride_elems: int = 1) -> int:
+        """Timed write of *count* elements from *index* on; returns cycles."""
+        return self._run(name, index, count, stride_elems, _WRITE)
+
+    def _run(self, name: str, index: int, count: int, stride_elems: int, access: AccessType) -> int:
+        arr = self._arrays[name]
+        if count <= 0:
+            return 0
+        last = index + (count - 1) * stride_elems
+        if not (0 <= index < arr.length and 0 <= last < arr.length):
+            raise WorkloadError(
+                f"{name}[{index}:{last}] out of bounds (length {arr.length})"
+            )
+        cycles = self._access_run(
+            self._page_table,
+            arr.base_va + index * arr.elem_bytes,
+            stride_elems * arr.elem_bytes,
+            count,
+            access,
+            U,
+            self._asid,
+        )[0]
+        self.cycles += cycles
+        self.accesses += count
+        return cycles
+
     def compute(self, cycles: int) -> None:
         """Account for non-memory compute work."""
         self.cycles += cycles
@@ -170,6 +207,8 @@ class HeapMap:
         self.accesses = 0
         # Hot-path bindings (touch() runs per object access).
         self._access_core = system.machine._access_core
+        self._access_run = system.machine.access_run
+        self._access_block = system.machine.access_block
         self._page_table = self.space.page_table
         self._asid = self.space.asid
 
@@ -178,19 +217,56 @@ class HeapMap:
         return self.base_va + slot * self.obj_bytes + field_offset
 
     def touch(self, obj_id: int, writes: int = 0, reads: int = 1, field_offset: int = 0) -> int:
-        """Timed accesses to one object; returns cycles."""
+        """Timed accesses to one object; returns cycles.
+
+        The reads (then writes) hit one address, so each group is one
+        zero-stride :meth:`Machine.access_run
+        <repro.soc.machine.Machine.access_run>` span — same order, same
+        state, as the scalar read/write loops this replaces.
+        """
         slot = self._slot_of[obj_id % self.num_objects]
         va = self.base_va + slot * self.obj_bytes + field_offset
-        cycles = 0
-        access_core = self._access_core
         page_table = self._page_table
         asid = self._asid
-        for _ in range(reads):
-            cycles += access_core(page_table, va, _READ, U, asid)[0]
-        for _ in range(writes):
-            cycles += access_core(page_table, va, _WRITE, U, asid)[0]
+        cycles = 0
+        # Singleton groups go straight to the scalar core — a one-reference
+        # run is definitionally the scalar access, and most touches are.
+        if reads == 1:
+            cycles += self._access_core(page_table, va, _READ, U, asid)[0]
+        elif reads:
+            cycles += self._access_run(page_table, va, 0, reads, _READ, U, asid)[0]
+        if writes == 1:
+            cycles += self._access_core(page_table, va, _WRITE, U, asid)[0]
+        elif writes:
+            cycles += self._access_run(page_table, va, 0, writes, _WRITE, U, asid)[0]
         self.cycles += cycles
         self.accesses += reads + writes
+        return cycles
+
+    def touch_into(
+        self,
+        block: AccessBlock,
+        obj_id: int,
+        writes: int = 0,
+        reads: int = 1,
+        field_offset: int = 0,
+    ) -> None:
+        """Append one object's touch pattern to *block* (submit later).
+
+        Lets a workload batch many object touches into a single
+        :meth:`submit` call instead of one machine call per object.
+        """
+        va = self.va_of(obj_id, field_offset)
+        if reads:
+            block.run(va, 0, reads, _READ)
+        if writes:
+            block.run(va, 0, writes, _WRITE)
+
+    def submit(self, block: AccessBlock) -> int:
+        """Charge a built-up block of object touches; returns cycles."""
+        cycles = self._access_block(self._page_table, block, U, self._asid)[0]
+        self.cycles += cycles
+        self.accesses += block.count
         return cycles
 
     def compute(self, cycles: int) -> None:

@@ -17,6 +17,7 @@ from typing import Dict, Optional
 
 from ..common.errors import WorkloadError
 from ..common.types import MIB, PAGE_SIZE, AccessType, Permission, PrivilegeMode
+from ..engine.block import AccessBlock
 from ..soc.system import AddressSpace, System
 
 #: Kernel virtual layout (Sv39 gives 256 GiB of kernel half; we use the top).
@@ -91,36 +92,64 @@ class KernelModel:
         return DIRECT_MAP_VA + (pa - self.system.memory.region.base)
 
     def _access(self, space: AddressSpace, va: int, access: AccessType, priv: PrivilegeMode) -> int:
-        result = self.system.machine.access(space.page_table, va, access, priv, asid=space.asid)
-        self.cycles += result.cycles
-        return result.cycles
+        cycles = self.system.machine._access_core(space.page_table, va, access, priv, space.asid)[0]
+        self.cycles += cycles
+        return cycles
+
+    def _access_run(
+        self, space: AddressSpace, va: int, stride: int, count: int, access: AccessType, priv: PrivilegeMode
+    ) -> int:
+        """A timed run of *count* accesses (one block-API call); returns cycles."""
+        cycles = self.system.machine.access_run(
+            space.page_table, va, stride, count, access, priv, space.asid
+        )[0]
+        self.cycles += cycles
+        return cycles
+
+    def _access_block(self, space: AddressSpace, block: AccessBlock, priv: PrivilegeMode) -> int:
+        """Charge a built-up access block; returns cycles."""
+        cycles = self.system.machine.access_block(space.page_table, block, priv, space.asid)[0]
+        self.cycles += cycles
+        return cycles
 
     def kfetch(self, instructions: int, pages: int = 2, page_offset: int = 0) -> int:
         """Fetch *instructions* kernel instructions across *pages* text pages.
 
         Sequential fetches share cache lines (16 RV64C instructions per line);
-        one access is issued per 64-byte line reached.
+        one access is issued per 64-byte line reached.  Lines on one text
+        page form a stride-64 run, so the fetch stream is a handful of block
+        calls rather than a per-line Python loop.
         """
         cycles = 0
         lines = max(1, instructions // 16)
-        for line in range(lines):
-            page = (page_offset + line // (PAGE_SIZE // 64)) % self.text_pages
-            va = KERNEL_TEXT_VA + page * PAGE_SIZE + (line * 64) % PAGE_SIZE
-            cycles += self._access(self.kspace, va, AccessType.FETCH, S)
+        lines_per_page = PAGE_SIZE // 64
+        line = 0
+        while line < lines:
+            page = (page_offset + line // lines_per_page) % self.text_pages
+            within = line % lines_per_page
+            count = min(lines - line, lines_per_page - within)
+            va = KERNEL_TEXT_VA + page * PAGE_SIZE + within * 64
+            cycles += self._access_run(self.kspace, va, 64, count, AccessType.FETCH, S)
+            line += count
         return cycles
 
     def ktouch_structs(self, num_structs: int, reads_per_struct: int = 2, writes_per_struct: int = 0) -> int:
-        """Walk *num_structs* kernel objects scattered over the kernel heap."""
-        cycles = 0
+        """Walk *num_structs* kernel objects scattered over the kernel heap.
+
+        The repeated reads (then writes) per struct are zero-stride runs;
+        all structs batch into one block submitted in a single machine call.
+        The RNG draws stay in the exact per-struct order of the scalar loop.
+        """
+        block = AccessBlock()
         for _ in range(num_structs):
             page = self.rng.randrange(self.heap_pages)
             offset = self.rng.randrange(PAGE_SIZE // 64) * 64
             va = KERNEL_HEAP_VA + page * PAGE_SIZE + offset
-            for _ in range(reads_per_struct):
-                cycles += self._access(self.kspace, va, AccessType.READ, S)
-            for _ in range(writes_per_struct):
-                cycles += self._access(self.kspace, va, AccessType.WRITE, S)
-        return cycles
+            if reads_per_struct:
+                block.run(va, 0, reads_per_struct, AccessType.READ)
+            if writes_per_struct:
+                block.run(va, 0, writes_per_struct, AccessType.WRITE)
+        return self._access_block(self.kspace, block, S)
 
     def copy_to_user(self, process: Process, user_va: int, nbytes: int) -> int:
         """Copy from a kernel buffer to user memory, 64 bytes per iteration."""
@@ -147,6 +176,23 @@ class KernelModel:
         """Timed store to a page-table entry through the direct map."""
         va = self.direct_va(pt_page_pa) + (index % 512) * 8
         return self._access(self.kspace, va, AccessType.WRITE, S)
+
+    def write_pte_run(self, pt_page_pa: int, index: int, count: int) -> int:
+        """Timed stores to *count* consecutive PTEs (wrapping at 512).
+
+        Identical references, same order, as *count* :meth:`write_pte` calls
+        with ``index, index+1, ...`` — chunked into stride-8 runs at each
+        512-entry wrap of the table page.
+        """
+        base = self.direct_va(pt_page_pa)
+        cycles = 0
+        i = 0
+        while i < count:
+            start = (index + i) % 512
+            n = min(count - i, 512 - start)
+            cycles += self._access_run(self.kspace, base + start * 8, 8, n, AccessType.WRITE, S)
+            i += n
+        return cycles
 
     # -- process lifecycle ------------------------------------------------------
 
@@ -175,16 +221,17 @@ class KernelModel:
         return process, cycles
 
     def _map_segment(self, process: Process, va: int, pages: int, perm: Permission) -> int:
-        """Map a segment with a timed PTE store per page."""
-        cycles = 0
+        """Map a segment with a timed PTE store per page.
+
+        ``map`` finishes allocating table pages before any timed store, so
+        ``pt_pages[-1]`` is the same page for every index and the per-page
+        stores fold into one :meth:`write_pte_run` span.
+        """
         space = process.space
         space.map(va, pages * PAGE_SIZE, perm)
         for i in range(pages):
-            page_va = va + i * PAGE_SIZE
-            process.resident[page_va] = True
-            pt_bounds = space.page_table.pt_pages[-1]
-            cycles += self.write_pte(pt_bounds, i)
-        return cycles
+            process.resident[va + i * PAGE_SIZE] = True
+        return self.write_pte_run(space.page_table.pt_pages[-1], 0, pages)
 
     def handle_fault(self, process: Process, va: int) -> int:
         """Demand-page fault: trap, allocate, map, return."""
@@ -208,12 +255,27 @@ class KernelModel:
         return cycles
 
     def exit_process(self, process: Process) -> int:
-        """Tear a process down: walk and free its pages."""
+        """Tear a process down: walk and free its pages.
+
+        The per-page timed store hits the same root-table VA every time, so
+        after the (untimed) unmaps it becomes one zero-stride run — unmap
+        issues no timed references and no TLB flush, so hoisting it ahead of
+        the stores leaves the reference stream unchanged.
+        """
         cycles = self.kfetch(150)
         cycles += self.ktouch_structs(6, writes_per_struct=1)
-        for page_va in list(process.resident):
+        pages = list(process.resident)
+        for page_va in pages:
             process.space.unmap(page_va, PAGE_SIZE)
-            cycles += self.write_pte(process.space.page_table.root_pa)
+        if pages:
+            cycles += self._access_run(
+                self.kspace,
+                self.direct_va(process.space.page_table.root_pa),
+                0,
+                len(pages),
+                AccessType.WRITE,
+                S,
+            )
         process.resident.clear()
         return cycles
 

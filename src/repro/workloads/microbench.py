@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..common.errors import WorkloadError
-from ..common.types import GIB, PAGE_SIZE, AccessType
+from ..common.types import GIB, PAGE_SIZE, AccessType, PrivilegeMode
 from ..soc.system import AddressSpace, System
 
 TEST_CASES = ("TC1", "TC2", "TC3", "TC4")
@@ -164,12 +164,16 @@ def run_fragmentation(
     system.machine.cold_boot()
     total = 0
     accesses = 0
+    machine = system.machine
     for pass_index in range(passes):
         if flush_tlb_between_passes and pass_index:
-            system.machine.sfence_vma()
-        for va in vas:
-            total += system.access(space, va).cycles
-            accesses += 1
+            machine.sfence_vma()
+        # One fixed-stride run per pass (the VAs are an arithmetic sequence).
+        total += machine.access_run(
+            space.page_table, base_va, stride, num_pages,
+            AccessType.READ, PrivilegeMode.USER, space.asid,
+        )[0]
+        accesses += num_pages
     return FragmentationResult(
         va_pattern,
         "fragmented" if pa_fragmented else "contiguous",

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..common.errors import WorkloadError
+from ..engine.block import AccessBlock
 from ..soc.system import System
 from ..tee.enclave import EnclaveRuntime
 from ..tee.monitor import HOST_DOMAIN_ID, SecureMonitor
@@ -188,12 +189,18 @@ class MiniRedis:
             count = int(command.split("_")[1])
             nodes = self.lists["mylist"]
             cycles = self._lookup("mylist")
-            for i in range(min(count, len(nodes))):
-                cycles += self.heap.touch(nodes[i], reads=2)  # node + value
+            n = min(count, len(nodes))
+            # The element loop dominates the LRANGE figures, so the whole
+            # chase is batched into one access block (same touches, same
+            # order) and submitted in a single machine call.
+            block = AccessBlock()
+            for i in range(n):
+                self.heap.touch_into(block, nodes[i], reads=2)  # node + value
                 # Each returned element materializes an ephemeral reply
                 # object (Redis robj churn) — a fresh heap slot every time.
-                cycles += self.heap.touch(self._alloc_node(), reads=1, writes=1)
-                cycles += 4  # serialize element
+                self.heap.touch_into(block, self._alloc_node(), reads=1, writes=1)
+            cycles += self.heap.submit(block)
+            cycles += 4 * n  # serialize elements
             return cycles
         if command == "MSET":
             cycles = 0

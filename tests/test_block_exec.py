@@ -1,0 +1,432 @@
+"""Differential proof that block execution is byte-identical to scalar.
+
+Every test here runs the same work twice — once with block mode on (the
+fused run/bulk hit paths) and once pinned to the scalar per-reference
+pipeline — and asserts the observable universe matches: cycle totals,
+machine/TLB/hierarchy stat snapshots, raw cache residency (the per-set
+line lists), fault identity, and workload-level results.  This is the
+"proof by differential test" the block layer's equivalence argument rests
+on, and it exercises the ``--no-block`` escape hatch end to end.
+"""
+
+import pytest
+
+from repro.common.errors import AccessFault, PageFault
+from repro.common.stats import Histogram
+from repro.common.types import PAGE_SIZE, AccessType, Permission, PrivilegeMode
+from repro.engine import AccessBlock, EngineHook, block_mode_enabled, set_block_mode
+from repro.soc.system import System
+
+VA = 0x40_0000_0000
+MODES = (True, False)
+
+
+@pytest.fixture(autouse=True)
+def _restore_block_mode():
+    prev = block_mode_enabled()
+    yield
+    set_block_mode(prev)
+
+
+def build_system(block, kind="hpmp", machine="rocket", **kw):
+    """A fresh System whose Machine latched *block* at construction."""
+    set_block_mode(block)
+    return System(machine=machine, checker_kind=kind, mem_mib=kw.pop("mem_mib", 128), **kw)
+
+
+def state(system):
+    """Everything observable about a system's timed state."""
+    m = system.machine
+    h = m.hierarchy
+    return {
+        "machine": m.stats.snapshot(),
+        "tlb": m.tlb.stats.snapshot(),
+        "hier": h.stats.snapshot(),
+        "caches": [
+            ([list(s) for s in c._sets], c.stats.snapshot())
+            for c in (h.l1d, h.l1i, h.l2, h.llc)
+        ],
+    }
+
+
+def scalar_loop(machine, pt, va, stride, count, access=AccessType.READ, asid=0):
+    """What access_run must equal: count scalar accesses, summed."""
+    cycles = hits = pt_refs = ck = 0
+    for i in range(count):
+        res = machine.access(pt, va + i * stride, access, PrivilegeMode.USER, asid)
+        cycles += res.cycles
+        pt_refs += res.pt_refs
+        ck += res.checker_refs
+        if res.tlb_hit:
+            hits += 1
+    return cycles, hits, pt_refs, ck
+
+
+class TestAccessRunParity:
+    @pytest.mark.parametrize("stride", [0, 8, 64, 256, 4096, 12288])
+    def test_stride_parity_cold_and_warm(self, stride):
+        """Same tuple and same final state for every run shape, from cold."""
+        results = {}
+        for mode in MODES:
+            system = build_system(mode)
+            space = system.new_address_space()
+            space.map(VA, 64 * PAGE_SIZE, Permission.rw())
+            pt, asid = space.page_table, space.asid
+            if mode:
+                got = system.machine.access_run(pt, VA, stride, 20, AccessType.READ, PrivilegeMode.USER, asid)
+                # Re-run warm: the whole span is now TLB/cache resident.
+                warm = system.machine.access_run(pt, VA, stride, 20, AccessType.READ, PrivilegeMode.USER, asid)
+            else:
+                got = scalar_loop(system.machine, pt, VA, stride, 20, asid=asid)
+                warm = scalar_loop(system.machine, pt, VA, stride, 20, asid=asid)
+            results[mode] = (got, warm, state(system))
+        assert results[True] == results[False]
+
+    def test_fetch_side_parity(self):
+        results = {}
+        for mode in MODES:
+            system = build_system(mode)
+            space = system.new_address_space()
+            space.map(VA, 4 * PAGE_SIZE, Permission(r=True, x=True))
+            pt, asid = space.page_table, space.asid
+            if mode:
+                got = system.machine.access_run(pt, VA, 64, 80, AccessType.FETCH, PrivilegeMode.USER, asid)
+            else:
+                got = scalar_loop(system.machine, pt, VA, 64, 80, AccessType.FETCH, asid)
+            results[mode] = (got, state(system))
+        assert results[True] == results[False]
+
+    def test_extra_cycles_charged_per_reference(self):
+        results = {}
+        for mode in MODES:
+            system = build_system(mode)
+            space = system.new_address_space()
+            space.map(VA, 2 * PAGE_SIZE, Permission.rw())
+            machine = system.machine
+            if mode:
+                got = machine.access_run(
+                    space.page_table, VA, 8, 100, AccessType.READ, PrivilegeMode.USER, space.asid, extra_cycles=3
+                )
+            else:
+                got = [0, 0, 0, 0]
+                for i in range(100):
+                    c, _pa, h, p, k = machine._access_core(
+                        space.page_table, VA + 8 * i, AccessType.READ, PrivilegeMode.USER, space.asid, 3
+                    )
+                    got[0] += c
+                    got[1] += 1 if h else 0
+                    got[2] += p
+                    got[3] += k
+                got = tuple(got)
+            results[mode] = (got, state(system))
+        assert results[True] == results[False]
+
+    def test_fault_mid_run_leaves_identical_state(self):
+        """A run crossing into an unmapped page faults with scalar state."""
+        results = {}
+        for mode in MODES:
+            system = build_system(mode)
+            space = system.new_address_space()
+            space.map(VA, PAGE_SIZE, Permission.rw())
+            pt, asid = space.page_table, space.asid
+            count = PAGE_SIZE // 8 + 5  # walks off the mapped page
+            with pytest.raises(PageFault):
+                if mode:
+                    system.machine.access_run(pt, VA, 8, count, AccessType.READ, PrivilegeMode.USER, asid)
+                else:
+                    scalar_loop(system.machine, pt, VA, 8, count, asid=asid)
+            results[mode] = state(system)
+        assert results[True] == results[False]
+
+    def test_page_perm_denial_parity(self):
+        results = {}
+        for mode in MODES:
+            system = build_system(mode)
+            space = system.new_address_space()
+            space.map(VA, PAGE_SIZE, Permission(r=True))
+            pt, asid = space.page_table, space.asid
+            # Warm the TLB with reads so the denial happens on the hit path.
+            if mode:
+                system.machine.access_run(pt, VA, 0, 4, AccessType.READ, PrivilegeMode.USER, asid)
+            else:
+                scalar_loop(system.machine, pt, VA, 0, 4, asid=asid)
+            with pytest.raises(PageFault):
+                if mode:
+                    system.machine.access_run(pt, VA, 0, 4, AccessType.WRITE, PrivilegeMode.USER, asid)
+                else:
+                    scalar_loop(system.machine, pt, VA, 0, 4, AccessType.WRITE, asid)
+            results[mode] = state(system)
+        assert results[True] == results[False]
+
+    def test_inlined_checker_denial_parity(self):
+        """hpmp page perm denies writes: fused path must fault like scalar."""
+        results = {}
+        for mode in MODES:
+            system = build_system(mode, kind="hpmp")
+            space = system.new_address_space()
+            space.map(VA, PAGE_SIZE, Permission.rw())
+            system.setup.table.set_page_perm(space.pa_of(VA), Permission(r=True))
+            pt, asid = space.page_table, space.asid
+            if mode:
+                system.machine.access_run(pt, VA, 0, 3, AccessType.READ, PrivilegeMode.USER, asid)
+            else:
+                scalar_loop(system.machine, pt, VA, 0, 3, asid=asid)
+            with pytest.raises(AccessFault):
+                if mode:
+                    system.machine.access_run(pt, VA, 0, 3, AccessType.WRITE, PrivilegeMode.USER, asid)
+                else:
+                    scalar_loop(system.machine, pt, VA, 0, 3, AccessType.WRITE, asid)
+            results[mode] = state(system)
+        assert results[True] == results[False]
+
+    def test_machine_kwarg_overrides_global(self):
+        """Machine(block_mode=False) pins scalar even when the global is on."""
+        set_block_mode(True)
+        system = System(machine="rocket", checker_kind="pmp", mem_mib=128)
+        assert system.machine.block_mode
+        from repro.soc.machine import Machine
+
+        pinned = Machine(system.machine.params, system.memory, system.machine.checker, block_mode=False)
+        assert not pinned.block_mode
+
+    def test_negative_stride_and_empty_run(self):
+        system = build_system(True)
+        space = system.new_address_space()
+        space.map(VA, 2 * PAGE_SIZE, Permission.rw())
+        machine = system.machine
+        assert machine.access_run(space.page_table, VA, 8, 0) == (0, 0, 0, 0)
+        # Negative stride takes the scalar loop; compare against access().
+        down = machine.access_run(
+            space.page_table, VA + 64, -8, 4, AccessType.READ, PrivilegeMode.USER, space.asid
+        )
+        assert down[0] > 0
+
+
+class TestAccessBlockParity:
+    def test_mixed_block_matches_scalar_loops(self):
+        runs = [
+            (VA, 0, 2, AccessType.READ),
+            (VA + 128, 0, 1, AccessType.READ),
+            (VA + 128, 0, 1, AccessType.WRITE),
+            (VA + 8 * PAGE_SIZE, 8, 600, AccessType.READ),
+            (VA + 64, 0, 3, AccessType.WRITE),
+        ]
+        results = {}
+        for mode in MODES:
+            system = build_system(mode)
+            space = system.new_address_space()
+            space.map(VA, 16 * PAGE_SIZE, Permission.rw())
+            pt, asid = space.page_table, space.asid
+            if mode:
+                block = AccessBlock()
+                for va, stride, count, access in runs:
+                    block.run(va, stride, count, access)
+                assert len(block.runs) == len(runs) and block.count == sum(r[2] for r in runs)
+                got = system.machine.access_block(pt, block, PrivilegeMode.USER, asid)
+            else:
+                got = [0, 0, 0, 0]
+                for va, stride, count, access in runs:
+                    part = scalar_loop(system.machine, pt, va, stride, count, access, asid)
+                    got = [a + b for a, b in zip(got, part)]
+                got = tuple(got)
+            results[mode] = (got, state(system))
+        assert results[True] == results[False]
+
+    def test_block_container_semantics(self):
+        block = AccessBlock()
+        block.run(VA, 8, 0, AccessType.READ)  # dropped: empty
+        block.run(VA, 8, -3, AccessType.READ)  # dropped: negative
+        assert len(block) == 0 and not block.runs
+        block.run(VA, 8, 5, AccessType.READ)
+        block.run(VA, 0, 1, AccessType.WRITE)
+        assert len(block) == 6 and len(block.runs) == 2  # len counts references
+        block.clear()
+        assert len(block) == 0 and not block.runs
+
+
+class _BlockSpy(EngineHook):
+    """Overrides only on_block, so the fused paths stay eligible."""
+
+    def __init__(self):
+        self.spans = []
+
+    def on_block(self, va, stride, count, access, cycles):
+        self.spans.append((va, stride, count, access, cycles))
+
+
+class _RefSpy(EngineHook):
+    """Overrides on_reference: installing it must force the scalar path."""
+
+    def __init__(self):
+        self.refs = 0
+
+    def on_reference(self, kind, paddr, cycles):
+        self.refs += 1
+
+
+class TestHookDiscipline:
+    def test_block_hook_sees_fused_spans_only(self):
+        system = build_system(True)
+        space = system.new_address_space()
+        space.map(VA, 4 * PAGE_SIZE, Permission.rw())
+        spy = _BlockSpy()
+        system.machine.engine.install_hook(spy)
+        _, hits, _, _ = system.machine.access_run(
+            space.page_table, VA, 8, 1024, AccessType.READ, PrivilegeMode.USER, space.asid
+        )
+        system.machine.engine.remove_hook(spy)
+        assert spy.spans, "bulk path should have fired and emitted block_done"
+        assert sum(s[2] for s in spy.spans) == hits  # fused refs only
+        assert all(s[1] == 8 for s in spy.spans)
+
+    def test_reference_hook_forces_scalar(self):
+        system = build_system(True)
+        space = system.new_address_space()
+        space.map(VA, 2 * PAGE_SIZE, Permission.rw())
+        ref_spy = _RefSpy()
+        block_spy = _BlockSpy()
+        system.machine.engine.install_hook(ref_spy)
+        system.machine.engine.install_hook(block_spy)
+        system.machine.access_run(
+            space.page_table, VA, 8, 50, AccessType.READ, PrivilegeMode.USER, space.asid
+        )
+        system.machine.engine.remove_hook(ref_spy)
+        system.machine.engine.remove_hook(block_spy)
+        assert ref_spy.refs >= 50  # every reference observed individually
+        assert block_spy.spans == []  # no fused spans under a ref hook
+
+
+class TestVirtParity:
+    def _build(self, mode):
+        from repro.virt.nested import GUEST_DRAM_BASE, VirtualMachine
+
+        system = build_system(mode, kind="hpmp", mem_mib=256)
+        vm = VirtualMachine(system, guest_pages=128)
+        vm.guest_map_range(VA, GUEST_DRAM_BASE + 8 * PAGE_SIZE, 8 * PAGE_SIZE)
+        return system, vm
+
+    def test_vm_access_run_parity(self):
+        results = {}
+        for mode in MODES:
+            system, vm = self._build(mode)
+            if mode:
+                cycles = vm.access_run(VA, 8, 700, AccessType.READ)
+                cycles += vm.access_run(VA, 0, 9, AccessType.READ)
+            else:
+                cycles = sum(vm.access(VA + 8 * i, AccessType.READ).cycles for i in range(700))
+                cycles += sum(vm.access(VA, AccessType.READ).cycles for _ in range(9))
+            results[mode] = (cycles, state(system), vm.stats.snapshot())
+        assert results[True] == results[False]
+
+    def test_vm_access_block_parity(self):
+        results = {}
+        for mode in MODES:
+            system, vm = self._build(mode)
+            if mode:
+                block = AccessBlock()
+                block.run(VA, 64, 32, AccessType.READ)
+                block.run(VA + PAGE_SIZE, 0, 4, AccessType.WRITE)
+                cycles = vm.access_block(block)
+            else:
+                cycles = sum(vm.access(VA + 64 * i, AccessType.READ).cycles for i in range(32))
+                cycles += sum(vm.access(VA + PAGE_SIZE, AccessType.WRITE).cycles for _ in range(4))
+            results[mode] = (cycles, state(system), vm.stats.snapshot())
+        assert results[True] == results[False]
+
+
+def _both_modes(fn):
+    """Run *fn* under each mode; return {mode: result}."""
+    out = {}
+    for mode in MODES:
+        set_block_mode(mode)
+        out[mode] = fn()
+    return out
+
+
+class TestWorkloadParity:
+    """Every converted workload generator, block vs scalar, tiny configs."""
+
+    def test_gap_bfs(self):
+        from repro.workloads.gap import run_kernel
+
+        results = _both_modes(lambda: run_kernel("bfs", "hpmp", machine="rocket", scale=8))
+        assert results[True] == results[False]
+
+    def test_redis_commands(self):
+        from repro.workloads.redis import run_command
+
+        def run():
+            out = []
+            for command in ("GET", "LPUSH", "LRANGE_100"):
+                out.append(
+                    run_command(command, "hpmp", machine="rocket", requests=4, warmup=1, num_keys=512)
+                )
+            return out
+
+        results = _both_modes(run)
+        assert results[True] == results[False]
+
+    def test_lmbench_fork_exec(self):
+        from repro.workloads.lmbench import run_syscall
+
+        results = _both_modes(
+            lambda: run_syscall(
+                "fork+exec", "hpmp", machine="rocket", iterations=2, warmup=1,
+                kernel_heap_pages=512, mem_mib=256,
+            )
+        )
+        assert results[True] == results[False]
+
+    def test_functionbench_matmul(self):
+        from repro.workloads.functionbench import run_function
+
+        results = _both_modes(lambda: run_function("matmul", "pmpt", machine="rocket"))
+        assert results[True] == results[False]
+
+    def test_microbench_fragmentation(self):
+        from repro.workloads.microbench import run_fragmentation
+
+        results = _both_modes(
+            lambda: run_fragmentation("hpmp", "Fragmented-VA", True, num_pages=24, passes=2)
+        )
+        assert results[True] == results[False]
+
+    def test_trace_record_and_replay(self):
+        from repro.workloads.traces import Trace, replay
+
+        trace = Trace()
+        trace.require_mapping(VA, 4 * PAGE_SIZE)
+        for i in range(256):
+            trace.append(VA + 8 * i, AccessType.READ)
+        for _ in range(16):
+            trace.append(VA, AccessType.WRITE)
+        results = _both_modes(lambda: replay(trace, "hpmp", machine="rocket"))
+        assert results[True] == results[False]
+
+
+class TestRunnerIntegration:
+    def test_execute_block_flag_is_scoped_and_digest_stable(self):
+        from repro.experiments.report import rows_digest
+        from repro.runner.tasks import campaign_tasks, execute
+
+        spec = min(campaign_tasks(["fig02"]), key=lambda s: s.task_id)
+        set_block_mode(True)
+        rows_block, stats_block = execute(spec, telemetry="light", block=True)
+        assert block_mode_enabled()  # restored
+        rows_scalar, stats_scalar = execute(spec, telemetry="light", block=False)
+        assert block_mode_enabled()  # restored even after a scalar cell
+        assert rows_digest(rows_block) == rows_digest(rows_scalar)
+        assert stats_block.snapshot() == stats_scalar.snapshot()
+
+
+class TestStatsBlockEntryPoints:
+    def test_histogram_observe_count(self):
+        one = Histogram("lat")
+        bulk = Histogram("lat")
+        for _ in range(7):
+            one.observe(13)
+        bulk.observe(13, count=7)
+        one.observe(5)
+        bulk.observe(5)
+        assert (one.count, one.total, one.min, one.max) == (bulk.count, bulk.total, bulk.min, bulk.max)
+        assert one.buckets() == bulk.buckets()
