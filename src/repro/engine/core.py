@@ -128,6 +128,7 @@ class ReferenceEngine:
     __slots__ = (
         "hierarchy",
         "checker",
+        "hart_id",
         "_check",
         "_charge",
         "_hooks",
@@ -139,9 +140,14 @@ class ReferenceEngine:
         "_checker_hooks",
     )
 
-    def __init__(self, hierarchy: MemoryHierarchy, checker: IsolationChecker):
+    def __init__(self, hierarchy: MemoryHierarchy, checker: IsolationChecker, hart_id: int = 0):
         self.hierarchy = hierarchy
         self.checker = checker
+        # Hart-indexed context: multi-hart machines build one engine per
+        # hart, and hooks/StatGroups key their aggregation on this id so
+        # per-hart streams merge deterministically (hart order, not
+        # completion order).  Single-hart construction keeps the default 0.
+        self.hart_id = hart_id
         # Hot-path bindings: the check and charge stages are invoked per
         # reference, so their bound methods are resolved once here (and in
         # set_checker) instead of via two attribute chains per call.

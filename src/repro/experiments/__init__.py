@@ -26,6 +26,7 @@ from . import (
     fig15_frag,
     fig17_pwc,
     scalability,
+    smp,
     summary,
     table3_os,
     table4_hw,
@@ -60,6 +61,7 @@ ALL_EXPERIMENTS = {
     "summary": summary,
     "table4": table4_hw,
     "ablations": ablations,
+    "smp": smp,
 }
 
 #: The campaign matrix: every experiment sliced into parallelizable cells.
@@ -109,6 +111,11 @@ SHARDS: Dict[str, Tuple[Shard, ...]] = {
     "scalability": (Shard("consolidation", "run", {}),),
     "summary": (Shard("claims", "run", {}),),
     "table4": (Shard("hw-cost", "run", {}),),
+    "smp": (
+        Shard("hart-scaling-pmpt", "run_hart_scaling", {"scheme": "pmpt"}),
+        Shard("hart-scaling-hpmp", "run_hart_scaling", {"scheme": "hpmp"}),
+        Shard("smoke-2hart", "run_smoke", {}),
+    ),
     "ablations": (
         Shard("table-depth", "run_table_depth", {}),
         Shard("tlb-inlining", "run_tlb_inlining", {}),

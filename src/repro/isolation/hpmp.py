@@ -263,3 +263,23 @@ class HPMPChecker:
     def flush_caches(self) -> None:
         """Drop walker caches (monitor calls this when tables change)."""
         self.pmptw_cache.flush()
+
+    def hart_view(self, hierarchy: MemoryHierarchy, hart_id: int) -> "HPMPChecker":
+        """A per-hart view of this checker.
+
+        The register file (and through it the bound PMP tables) is the
+        architectural state — shared by every hart, programmed once by the
+        monitor.  The walker's micro-architectural state is per hart: each
+        view charges pmpte reads through its own hart's cache hierarchy and
+        keeps a private PMPTW-Cache (same geometry), so permission-table
+        walks on different harts contend for the shared LLC but not for
+        each other's L1/L2 or walker cache.  Stats accumulate in the view's
+        own group (named ``<name>.hart<k>``) and merge hart-ordered.
+        """
+        return HPMPChecker(
+            regfile=self.regfile,
+            hierarchy=hierarchy,
+            pmptw_cache_entries=self.pmptw_cache.capacity,
+            pmptw_cache_enabled=self.pmptw_cache.capacity > 0,
+            name=f"{self.name}.hart{hart_id}",
+        )

@@ -211,6 +211,20 @@ class TLB:
         for _key, entry in self._l2._slots.values():
             entry.checker_perm = None
 
+    def resident_entries(self):
+        """Yield every resident entry as ``(level, (asid, vpn), entry)``.
+
+        Level is ``"l1"`` or ``"l2"``; an entry promoted into both levels
+        is yielded twice (same object).  Read-only and side-effect free —
+        no LRU movement, no counters — so verifiers can scan the whole TLB
+        (e.g. the interleaved fuzzer's "no revoked page reachable from any
+        hart" temporal invariant) without perturbing the timed state.
+        """
+        for key, entry in self._l1._map.items():
+            yield "l1", key, entry
+        for key, entry in self._l2._slots.values():
+            yield "l2", key, entry
+
     def occupancy(self) -> Tuple[int, int]:
         """(L1 entries, L2 entries) currently resident."""
         return len(self._l1), len(self._l2)

@@ -127,15 +127,18 @@ class _StatsHarvester(EngineHook):
     def saw_engine(self, engine) -> None:
         self.engines += 1
         hierarchy = engine.hierarchy
-        self.groups.extend(
-            [
-                ("hierarchy", hierarchy.stats),
-                ("l1d", hierarchy.l1d.stats),
-                ("l1i", hierarchy.l1i.stats),
-                ("l2", hierarchy.l2.stats),
-                ("llc", hierarchy.llc.stats),
-            ]
-        )
+        # Identity-dedupe: a multi-hart machine shares one LLC object
+        # across every hart's hierarchy, and counting its group once per
+        # engine would double-bill the shared misses.
+        for prefix, group in (
+            ("hierarchy", hierarchy.stats),
+            ("l1d", hierarchy.l1d.stats),
+            ("l1i", hierarchy.l1i.stats),
+            ("l2", hierarchy.l2.stats),
+            ("llc", hierarchy.llc.stats),
+        ):
+            if not any(g is group for _, g in self.groups):
+                self.groups.append((prefix, group))
 
     def on_checker(self, checker) -> None:
         # Engines are built before their checker exists (it needs the

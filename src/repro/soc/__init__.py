@@ -1,7 +1,8 @@
 """SoC model: the timed machine and the full-system builder."""
 
 from .cpu import CPU, CPUResult, Instruction, assemble
-from .machine import AccessResult, Machine, TraceResult
+from .machine import AccessResult, Hart, Machine, TraceResult
+from .smp import HartProgram, InterleaveResult, RoundRobinInterleaver, monitor_call
 from .system import DRAM_BASE, AddressSpace, System
 
 __all__ = [
@@ -10,9 +11,14 @@ __all__ = [
     "CPU",
     "CPUResult",
     "DRAM_BASE",
+    "Hart",
+    "HartProgram",
     "Instruction",
+    "InterleaveResult",
     "Machine",
+    "RoundRobinInterleaver",
     "System",
     "TraceResult",
     "assemble",
+    "monitor_call",
 ]

@@ -210,7 +210,14 @@ class CPU:
     Parameters
     ----------
     machine / page_table:
-        Where data accesses go (the full timed path).
+        Where data accesses go (the full timed path).  A :class:`Machine`
+        or any single :class:`~repro.soc.machine.Hart` of one — a CPU is
+        core-private state, so on a multi-hart machine each CPU binds to
+        one hart (pass ``hart=<index>`` to select it).
+    hart:
+        Optional hart index on a multi-hart *machine*; the CPU then issues
+        every access through that hart's private TLB/caches.  ``None`` (the
+        default) uses *machine* itself (hart 0), exactly as before.
     fetch_base_va:
         When set, each instruction charges an instruction fetch through the
         I-side for its 64-byte line at ``fetch_base_va + 4*pc_index`` (the
@@ -224,8 +231,9 @@ class CPU:
         priv: PrivilegeMode = PrivilegeMode.USER,
         asid: int = 0,
         fetch_base_va: Optional[int] = None,
+        hart: Optional[int] = None,
     ):
-        self.machine = machine
+        self.machine = machine if hart is None else machine.hart(hart)
         self.page_table = page_table
         self.priv = priv
         self.asid = asid

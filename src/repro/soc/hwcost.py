@@ -19,6 +19,26 @@ from ..common.params import MachineParams
 PA_BITS = 44
 PERM_BITS = 3
 
+# -- SMP cost constants (multi-hart secure monitor, §5 concurrency model) ----
+#
+# The monitor serializes domain/table mutations behind one lock; a
+# contended acquire costs the queueing delay (below) plus this fixed
+# uncontended acquire cost (an LR/SC pair hitting the shared LLC line).
+MONITOR_LOCK_ACQUIRE_CYCLES = 40
+#: Delivering one inter-processor interrupt to a remote hart: CLINT MMIO
+#: store + interrupt latency + remote trap entry to the flush handler.
+IPI_DELIVERY_CYCLES = 600
+
+
+def lock_queue_delay(now: int, busy_until: int) -> int:
+    """Cycles a hart arriving at *now* waits for a lock busy until *busy_until*.
+
+    Virtual-time queueing: the monitor records when its current critical
+    section ends; a later arrival spins for the remainder.  Arriving at or
+    after ``busy_until`` (or with no holder) costs nothing.
+    """
+    return busy_until - now if busy_until > now else 0
+
 
 @dataclass(frozen=True)
 class ModuleCost:
@@ -75,6 +95,23 @@ def hpmp_additions(params: MachineParams, pmptw_cache_entries: int = 8) -> List[
             PERM_BITS * (2 * params.l1_tlb.entries + params.l2_tlb.entries),
             260,
         ),
+    ]
+
+
+def smp_additions(num_harts: int) -> List[ModuleCost]:
+    """What N-hart monitor concurrency adds to the SoC (state inventory).
+
+    Small fixed structures: the monitor's lock word and owner/queue state,
+    one CLINT-style software-interrupt pending bit + doorbell per hart,
+    and a per-hart sfence/shootdown acknowledge latch.  Like the HPMP
+    additions these are rounding errors next to the caches, which is the
+    point — the concurrency model costs cycles (lock queueing, IPIs), not
+    silicon.
+    """
+    return [
+        ModuleCost("monitor_lock", 64 + num_harts.bit_length(), 80),
+        ModuleCost("ipi_fabric", num_harts * (1 + 32), 60 * num_harts),
+        ModuleCost("shootdown_ack", num_harts * 2, 20 * num_harts),
     ]
 
 

@@ -1,6 +1,17 @@
 """The simulated SoC: TLBs + page-table walker + checker + cache hierarchy.
 
-:class:`Machine` implements the timed memory-access path of Figure 2:
+Two classes live here, split along the hardware's own ownership lines:
+
+* :class:`Hart` — everything private to one core: L1/L2 TLB, L1D/L1I/L2
+  caches, page-walk cache, reference engine (with its pooled account and
+  hot-path bindings) and the per-hart deferred stats.
+* :class:`Machine` — the SoC.  It *is* hart 0 (subclassing keeps the
+  single-hart access path byte-identical and free of delegation overhead)
+  and composes the secondary harts over the shared state: the last-level
+  cache, DRAM, and — via the caller — frame allocators, page/permission
+  tables, GMSs and the :class:`~repro.tee.monitor.SecureMonitor`.
+
+:class:`Hart` implements the timed memory-access path of Figure 2:
 
 1. TLB lookup (L1 then L2).  A hit with an inlined checker permission costs
    no isolation work at all (the paper's TLB-inlining optimization).
@@ -29,7 +40,7 @@ deltas).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from ..common.errors import AccessFault, PageFault
 from ..common.params import MachineParams
@@ -77,8 +88,8 @@ class TraceResult:
         return self.cycles / self.accesses if self.accesses else 0.0
 
 
-class Machine:
-    """One simulated hart plus its memory system.
+class Hart:
+    """One simulated hart: the core-private half of the memory system.
 
     Parameters
     ----------
@@ -95,6 +106,11 @@ class Machine:
         :meth:`access_block`.  ``None`` (the default) reads the
         process-wide setting (:func:`repro.engine.block.block_mode_enabled`);
         pass ``False`` to pin this machine to the scalar pipeline.
+    hart_id:
+        This hart's index in its machine (0 for single-hart machines).
+    llc:
+        A shared last-level cache to build the hierarchy over; ``None``
+        (the single-hart default) creates a private LLC exactly as before.
     """
 
     def __init__(
@@ -104,14 +120,17 @@ class Machine:
         checker: Optional[IsolationChecker] = None,
         seed: int = 0,
         block_mode: Optional[bool] = None,
+        hart_id: int = 0,
+        llc=None,
     ):
         self.params = params
         self.memory = memory
-        self.hierarchy = MemoryHierarchy(params, seed=seed)
+        self.hart_id = hart_id
+        self.hierarchy = MemoryHierarchy(params, seed=seed, llc=llc)
         self.tlb = TLB(params.l1_tlb, params.l2_tlb)
         self.pwc = PageWalkCache(params.ptecache_entries)
         self.engine = ReferenceEngine(
-            self.hierarchy, checker if checker is not None else NullChecker()
+            self.hierarchy, checker if checker is not None else NullChecker(), hart_id=hart_id
         )
         # Deferred per-access statistics (published into ``stats`` on read)
         # and hot-path bindings: the TLB/hierarchy objects live as long as
@@ -121,7 +140,8 @@ class Machine:
         self._s_pt_refs = 0
         self._s_checker_refs = 0
         self._s_tlb_misses = 0
-        self.stats = StatGroup("machine", sync=self._publish_stats)
+        name = "machine" if hart_id == 0 else f"machine.hart{hart_id}"
+        self.stats = StatGroup(name, sync=self._publish_stats)
         self._tlb_lookup = self.tlb.lookup
         self._hier_access = self.hierarchy.access
         # Block execution: resolved once at construction (the runner sets the
@@ -622,3 +642,110 @@ class Machine:
             pt_refs += p
             checker_refs += k
         return TraceResult(accesses, cycles, pt_refs, checker_refs, tlb_hits)
+
+
+class Machine(Hart):
+    """The SoC: hart 0 plus optional secondary harts over shared state.
+
+    A machine *is* its hart 0 — subclassing :class:`Hart` keeps every
+    existing single-hart consumer (``machine.access``, ``machine.tlb``,
+    ``machine.engine`` …) working unchanged with zero delegation overhead,
+    and makes single-hart construction byte-identical to the pre-SMP
+    machine (hart 0's hierarchy creates the LLC with the same seed).
+
+    Secondary harts share the LLC, DRAM and — through
+    :meth:`attach_checker` — the isolation checker's architectural state
+    (register file and bound tables), while owning private L1/L2 caches,
+    TLBs, page-walk caches, engines and walker caches.  Scheduling of
+    per-hart reference streams lives in :mod:`repro.soc.smp`; cross-hart
+    TLB shootdown cost lives in the :class:`~repro.tee.monitor.SecureMonitor`.
+    """
+
+    def __init__(
+        self,
+        params: MachineParams,
+        memory: PhysicalMemory,
+        checker: Optional[IsolationChecker] = None,
+        seed: int = 0,
+        block_mode: Optional[bool] = None,
+        harts: int = 1,
+    ):
+        if harts < 1:
+            raise ValueError(f"a machine needs at least one hart, got {harts}")
+        super().__init__(params, memory, checker, seed=seed, block_mode=block_mode)
+        self.llc = self.hierarchy.llc
+        self.harts: List[Hart] = [self]
+        for i in range(1, harts):
+            # Seed stride 8 keeps each hart's private-cache seeds (seed..
+            # seed+2 within its hierarchy) disjoint from every other hart's.
+            hart = Hart(
+                params,
+                memory,
+                seed=seed + 8 * i,
+                block_mode=block_mode,
+                hart_id=i,
+                llc=self.llc,
+            )
+            if checker is not None:
+                hart.attach_checker(
+                    checker.hart_view(hart.hierarchy, i)
+                    if hasattr(checker, "hart_view")
+                    else checker
+                )
+            self.harts.append(hart)
+
+    @property
+    def num_harts(self) -> int:
+        return len(self.harts)
+
+    def hart(self, index: int) -> Hart:
+        """The hart at *index* (0 is the machine itself)."""
+        return self.harts[index]
+
+    def attach_checker(self, checker: IsolationChecker) -> None:
+        """Install the checker on every hart (flushes all stale TLB state).
+
+        Hart 0 gets *checker* itself (single-hart behaviour, unchanged).
+        Secondary harts get a per-hart view when the checker supports one
+        (``hart_view``: shared register file and tables, private walker
+        state charging through that hart's hierarchy); register-only
+        checkers (PMP, null) are shared as-is.
+        """
+        super().attach_checker(checker)
+        for hart in self.harts[1:]:
+            view = (
+                checker.hart_view(hart.hierarchy, hart.hart_id)
+                if hasattr(checker, "hart_view")
+                else checker
+            )
+            hart.attach_checker(view)
+
+    def cold_boot(self) -> None:
+        """Reset cached state on every hart (and thus the shared LLC)."""
+        super().cold_boot()
+        for hart in self.harts[1:]:
+            hart.cold_boot()
+
+    def sfence_vma_all(self, asid: Optional[int] = None) -> int:
+        """Flush every hart's TLB+PWC; returns the summed cycle cost."""
+        cycles = 0
+        for hart in self.harts:
+            cycles += hart.sfence_vma(asid)
+        return cycles
+
+    def hart_stats(self) -> List[StatGroup]:
+        """Per-hart ``machine`` stat groups, in hart order."""
+        return [hart.stats for hart in self.harts]
+
+    def merged_stats(self, name: str = "machine") -> StatGroup:
+        """All harts' access stats folded into one group, hart-ordered.
+
+        Deterministic by construction: snapshots are merged in hart-id
+        order, and every counter is a plain sum, so the merged group is
+        independent of interleaving decisions that didn't change the
+        per-hart counts.
+        """
+        merged = StatGroup(name)
+        for hart in self.harts:
+            merged.merge(hart.stats.snapshot())
+        return merged

@@ -144,6 +144,12 @@ class System:
         interleaved with data — what an unmodified kernel does).  Defaults
         to ``"region"`` for the hpmp checker and ``"pool"`` otherwise,
         matching the paper's Penglai-HPMP vs Penglai-PMP/PMPT systems.
+    harts:
+        Number of harts in the machine (default 1, the classic single-hart
+        system — byte-identical construction).  Secondary harts get private
+        L1/L2/TLB state over the shared LLC, and per-hart checker views of
+        the one register file (see :meth:`Machine.attach_checker
+        <repro.soc.machine.Machine.attach_checker>`).
     """
 
     def __init__(
@@ -158,6 +164,7 @@ class System:
         pmp_entries: int = 16,
         seed: int = 0,
         params_override: Optional[MachineParams] = None,
+        harts: int = 1,
     ):
         if checker_kind not in CHECKER_KINDS:
             raise ConfigurationError(f"unknown checker kind {checker_kind!r}")
@@ -206,7 +213,7 @@ class System:
         if table_mode is not None:
             kwargs["table_mode"] = table_mode
 
-        self.machine = Machine(self.params, self.memory, seed=seed)
+        self.machine = Machine(self.params, self.memory, seed=seed, harts=harts)
         self.setup: FlatSetup = make_flat_checker(
             checker_kind,
             self.memory,

@@ -25,10 +25,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..common.errors import ConfigurationError, MonitorError, OutOfResources
+from ..common.stats import StatGroup
 from ..common.types import MemRegion, PAGE_SIZE, Permission
 from ..isolation.hpmp import HPMPChecker
 from ..isolation.pmp import AddrMatch, PMPChecker, PMPEntry, napot_addr
 from ..isolation.pmptable import PMPTable
+from ..soc.hwcost import IPI_DELIVERY_CYCLES, MONITOR_LOCK_ACQUIRE_CYCLES, lock_queue_delay
 from ..soc.system import System
 from .gms import GMS
 
@@ -90,6 +92,19 @@ class SecureMonitor:
         # keep its shadow permission oracle in lockstep; observers must not
         # mutate monitor state.
         self._observers: List[Callable[..., None]] = []
+        # Concurrency model.  The monitor serializes every mutating
+        # operation behind one lock, tracked in virtual time: clocked
+        # callers (the SMP interleaver's monitor calls, which pass
+        # ``hart_id``/``now``) pay a queueing delay against the end of the
+        # previous critical section.  Legacy unclocked callers pay nothing
+        # — single-hart cycle accounting stays byte-identical.
+        # ``shootdown_enabled`` is a fault-injection knob: turning it off
+        # skips the cross-hart IPI flushes on isolation-state updates,
+        # which the interleaved verifier must then catch as a stale-TLB
+        # reachability window.
+        self._lock_busy_until = 0
+        self.shootdown_enabled = True
+        self.stats = StatGroup("monitor")
         self._reset_hardware()
         self._create_host()
 
@@ -128,11 +143,65 @@ class SecureMonitor:
         self.cycles_spent += cycles
         return cycles
 
-    def _charge_tlb_flush(self) -> int:
-        cycles = self.system.machine.sfence_vma()
-        flush = getattr(self.system.checker, "flush_caches", None)
+    def _lock_acquire(self, hart_id: int, now: Optional[int]) -> int:
+        """Model taking the monitor lock; returns the cycles charged.
+
+        ``now`` is the issuing hart's virtual clock.  ``None`` (every
+        legacy single-hart caller) keeps the pre-SMP accounting: the lock
+        is uncontended by construction and costs nothing.  Clocked callers
+        pay the fixed acquire cost plus the virtual-time queueing delay
+        against the end of the previous critical section.
+        """
+        if now is None:
+            return 0
+        wait = lock_queue_delay(now, self._lock_busy_until)
+        if wait:
+            self.stats.bump("lock_waits")
+            self.stats.bump("lock_wait_cycles", wait)
+        self.stats.bump("lock_acquires")
+        cycles = wait + MONITOR_LOCK_ACQUIRE_CYCLES
+        self.cycles_spent += cycles
+        return cycles
+
+    def _lock_release(self, now: Optional[int], op_cycles: int) -> None:
+        """Close the critical section: busy until the op's virtual end time."""
+        if now is None:
+            return
+        end = now + op_cycles
+        if end > self._lock_busy_until:
+            self._lock_busy_until = end
+
+    def _charge_tlb_flush(self, hart_id: int = 0) -> int:
+        """Flush translation/permission caches after an isolation update.
+
+        The issuing hart flushes locally (sfence.vma + walker caches); on a
+        multi-hart machine every *other* hart must be shot down too — an
+        IPI each, then the remote hart's own sfence-equivalent flush and
+        checker-view cache drop.  Skipping the remote half (the
+        ``shootdown_enabled`` knob) leaves revoked translations reachable
+        from remote TLBs — the exact window the interleaved verifier's
+        temporal invariant exists to catch.
+        """
+        machine = self.system.machine
+        harts = getattr(machine, "harts", None) or [machine]
+        local = harts[hart_id] if hart_id < len(harts) else harts[0]
+        cycles = local.sfence_vma()
+        flush = getattr(local.engine.checker, "flush_caches", None)
         if flush:
             flush()
+        if len(harts) > 1 and self.shootdown_enabled:
+            shoot = 0
+            for hart in harts:
+                if hart is local:
+                    continue
+                shoot += IPI_DELIVERY_CYCLES + hart.sfence_vma()
+                remote_flush = getattr(hart.engine.checker, "flush_caches", None)
+                if remote_flush:
+                    remote_flush()
+            self.stats.bump("shootdowns")
+            self.stats.bump("shootdown_ipis", len(harts) - 1)
+            self.stats.bump("shootdown_cycles", shoot)
+            cycles += shoot
         self.cycles_spent += cycles
         return cycles
 
@@ -233,8 +302,9 @@ class SecureMonitor:
             raise MonitorError(f"domain {domain_id} was destroyed")
         return dom
 
-    def create_domain(self, name: str) -> Domain:
+    def create_domain(self, name: str, hart_id: int = 0, now: Optional[int] = None) -> Domain:
         """Create an empty enclave domain (host is domain 0)."""
+        lock_cycles = self._lock_acquire(hart_id, now)
         domain = Domain(self._next_domain_id, name)
         self._next_domain_id += 1
         if self.scheme == "pmp":
@@ -256,20 +326,29 @@ class SecureMonitor:
                 for gms in other.gmss:
                     domain.table.set_range(gms.region.base, gms.region.size, Permission.none())
         self._domains[domain.domain_id] = domain
+        self._lock_release(now, lock_cycles)
         self._notify("create_domain", domain=domain)
         return domain
 
-    def destroy_domain(self, domain_id: int) -> None:
-        """Destroy an enclave and return its memory and entries."""
+    def destroy_domain(self, domain_id: int, hart_id: int = 0, now: Optional[int] = None) -> None:
+        """Destroy an enclave and return its memory and entries.
+
+        The nested revoke/switch calls run unclocked — the outer teardown
+        already holds the monitor lock, so only it pays queueing cost —
+        but each revoke still shoots down every remote hart (``hart_id``
+        names the issuing hart for the local-vs-remote flush split).
+        """
+        lock_cycles = self._lock_acquire(hart_id, now)
         if domain_id == HOST_DOMAIN_ID:
             raise MonitorError("cannot destroy the host domain")
         domain = self.domain(domain_id)
         for gms in list(domain.gmss):
-            self.revoke_region(domain_id, gms)
+            self.revoke_region(domain_id, gms, hart_id=hart_id)
         domain.alive = False
+        self._lock_release(now, lock_cycles)
         self._notify("destroy_domain", domain_id=domain_id)
         if self.current_domain_id == domain_id:
-            self.switch_to(HOST_DOMAIN_ID)
+            self.switch_to(HOST_DOMAIN_ID, hart_id=hart_id)
 
     # -- region management (Figure 14 b/c/d) ----------------------------------
 
@@ -280,12 +359,17 @@ class SecureMonitor:
         perm: Permission = Permission.rwx(),
         label: str = "slow",
         region: Optional[MemRegion] = None,
+        hart_id: int = 0,
+        now: Optional[int] = None,
     ) -> "tuple[GMS, int]":
         """Give *domain* a fresh physical region as a GMS; returns (gms, cycles).
 
         The region is carved from the data pool unless an explicit *region*
-        is supplied (which must then already belong to no one).
+        is supplied (which must then already belong to no one).  Clocked
+        callers (``now`` set to the issuing hart's virtual clock) pay the
+        monitor-lock acquire/queueing cost on top; see :meth:`_lock_acquire`.
         """
+        cycles = self._lock_acquire(hart_id, now)
         domain = self.domain(domain_id)
         if region is None:
             frames = size // PAGE_SIZE
@@ -294,7 +378,6 @@ class SecureMonitor:
             base = self.system.data_frames.alloc_contiguous(frames, align_frames=align)
             region = MemRegion(base, size)
         gms = GMS(region, perm, label, owner_domain=domain_id)
-        cycles = 0
         if self.scheme == "pmp":
             cycles += self._install_pmp_region(domain, gms)
         else:
@@ -310,7 +393,8 @@ class SecureMonitor:
             if label == "fast" and self.scheme == "hpmp":
                 cycles += self._try_install_fast_segment(domain, gms)
         domain.gmss.append(gms)
-        cycles += self._charge_tlb_flush()
+        cycles += self._charge_tlb_flush(hart_id)
+        self._lock_release(now, cycles)
         self._notify("grant_region", domain_id=domain_id, gms=gms)
         return gms, cycles
 
@@ -362,12 +446,21 @@ class SecureMonitor:
         domain.pmp_entries[gms.gms_id] = index
         return self._charge_register_write(2)
 
-    def revoke_region(self, domain_id: int, gms: GMS) -> int:
-        """Take a GMS back from a domain; returns cycles spent."""
+    def revoke_region(
+        self, domain_id: int, gms: GMS, hart_id: int = 0, now: Optional[int] = None
+    ) -> int:
+        """Take a GMS back from a domain; returns cycles spent.
+
+        Revocation is the security-critical path: after it returns, no
+        hart may reach the region under the revoked permission — on a
+        multi-hart machine :meth:`_charge_tlb_flush` shoots down every
+        remote hart's TLB (and checker-view caches) before this method
+        completes.
+        """
+        cycles = self._lock_acquire(hart_id, now)
         domain = self.domain(domain_id)
         if gms not in domain.gmss:
             raise MonitorError(f"{gms} does not belong to domain {domain_id}")
-        cycles = 0
         index = domain.pmp_entries.pop(gms.gms_id, None)
         if index is not None:
             self.regfile.clear_entry(index)
@@ -391,7 +484,8 @@ class SecureMonitor:
             frame = gms.region.base + offset
             if self.system.data_frames.owns(frame):
                 self.system.data_frames.free(frame)
-        cycles += self._charge_tlb_flush()
+        cycles += self._charge_tlb_flush(hart_id)
+        self._lock_release(now, cycles)
         self._notify("revoke_region", domain_id=domain_id, gms=gms)
         return cycles
 
@@ -400,6 +494,8 @@ class SecureMonitor:
         domain_ids: "list[int]",
         size: int,
         perm: Permission = Permission.rw(),
+        hart_id: int = 0,
+        now: Optional[int] = None,
     ) -> "tuple[GMS, int]":
         """Inter-enclave communication: one region visible to several domains.
 
@@ -410,13 +506,13 @@ class SecureMonitor:
         """
         if not domain_ids:
             raise MonitorError("shared region needs at least one domain")
+        cycles = self._lock_acquire(hart_id, now)
         members = [self.domain(d) for d in domain_ids]
         frames = size // PAGE_SIZE
         align = frames if self.scheme == "pmp" else 1
         base = self.system.data_frames.alloc_contiguous(frames, align_frames=align)
         region = MemRegion(base, size)
         gms = GMS(region, perm, "slow", owner_domain=domain_ids[0])
-        cycles = 0
         if self.scheme == "pmp":
             # One entry for the whole group, toggled on every domain switch.
             if not self._pmp_free_entries:
@@ -446,11 +542,14 @@ class SecureMonitor:
             before = other.table.entry_writes
             other.table.set_range(region.base, region.size, Permission.none())
             cycles += self._charge_table_writes(other.table, before)
-        cycles += self._charge_tlb_flush()
+        cycles += self._charge_tlb_flush(hart_id)
+        self._lock_release(now, cycles)
         self._notify("grant_shared_region", domain_ids=list(domain_ids), gms=gms)
         return gms, cycles
 
-    def hint_fast_region(self, domain_id: int, region: MemRegion) -> "tuple[GMS, int]":
+    def hint_fast_region(
+        self, domain_id: int, region: MemRegion, hart_id: int = 0, now: Optional[int] = None
+    ) -> "tuple[GMS, int]":
         """Back a sub-range of a domain's memory with a segment entry.
 
         Supports the §9 application-hint ioctls: *region* must lie inside a
@@ -458,6 +557,7 @@ class SecureMonitor:
         a hint — it only changes the checking mechanism).  Returns the new
         fast GMS and the cycles spent (registers + TLB flush only).
         """
+        cycles = self._lock_acquire(hart_id, now)
         domain = self.domain(domain_id)
         parent = next(
             (g for g in domain.gmss if g.region.base <= region.base and region.end <= g.region.end),
@@ -467,19 +567,22 @@ class SecureMonitor:
             raise MonitorError(f"hint region {region} is outside domain {domain_id}'s memory")
         gms = GMS(region, parent.perm, "fast", owner_domain=domain_id)
         domain.gmss.append(gms)
-        cycles = 0
         if self.scheme == "hpmp":
             cycles += self._try_install_fast_segment(domain, gms)
-        cycles += self._charge_tlb_flush()
+        cycles += self._charge_tlb_flush(hart_id)
+        self._lock_release(now, cycles)
         self._notify("hint_fast_region", domain_id=domain_id, gms=gms)
         return gms, cycles
 
-    def relabel(self, domain_id: int, gms: GMS, label: str) -> int:
+    def relabel(
+        self, domain_id: int, gms: GMS, label: str, hart_id: int = 0, now: Optional[int] = None
+    ) -> int:
         """OS hint update.  HPMP: registers only (the cache-style fast path)."""
+        cycles = self._lock_acquire(hart_id, now)
         domain = self.domain(domain_id)
         gms.relabel(label)
-        cycles = 0
         if self.scheme != "hpmp":
+            self._lock_release(now, cycles)
             self._notify("relabel", domain_id=domain_id, gms=gms, label=label)
             return cycles
         if label == "fast":
@@ -490,17 +593,19 @@ class SecureMonitor:
                 self.regfile.clear_entry(index)
                 self._fast_entry_pool.insert(0, index)
                 cycles += self._charge_register_write(1)
-        cycles += self._charge_tlb_flush()
+        cycles += self._charge_tlb_flush(hart_id)
+        self._lock_release(now, cycles)
         self._notify("relabel", domain_id=domain_id, gms=gms, label=label)
         return cycles
 
     # -- domain switch (Figure 14 a) -------------------------------------------
 
-    def switch_to(self, domain_id: int) -> int:
+    def switch_to(self, domain_id: int, hart_id: int = 0, now: Optional[int] = None) -> int:
         """Switch execution to *domain*; returns the switch cost in cycles."""
+        cycles = self._lock_acquire(hart_id, now)
         target = self.domain(domain_id)
         previous = self._domains[self.current_domain_id]
-        cycles = CONTEXT_SWITCH_BASE_CYCLES
+        cycles += CONTEXT_SWITCH_BASE_CYCLES
         self.cycles_spent += CONTEXT_SWITCH_BASE_CYCLES
         if self.scheme == "pmp":
             # Close the previous domain's entries, open the target's.
@@ -544,6 +649,7 @@ class SecureMonitor:
                 ),
             )
             cycles += self._charge_register_write(1)
-        cycles += self._charge_tlb_flush()
+        cycles += self._charge_tlb_flush(hart_id)
+        self._lock_release(now, cycles)
         self._notify("switch_to", domain_id=domain_id)
         return cycles

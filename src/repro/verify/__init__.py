@@ -11,6 +11,10 @@ engine-hook shadow validator, all raising
   reachable-page footprint checks.
 * :mod:`repro.verify.fuzz` — the ``fuzz_table`` / ``fuzz_monitor`` /
   ``fuzz_gpt`` harnesses behind ``python -m repro verify``.
+* :mod:`repro.verify.interleave` — the multi-hart ``fuzz_interleaved``
+  harness (``python -m repro verify --interleaved``): seeded per-hart
+  streams with fuzzed revocation points, checking that no hart ever
+  reaches a revoked page after the monitor's shootdown.
 * :mod:`repro.verify.selfcheck` — the opt-in (``--selfcheck``)
   :class:`SelfCheckHook` shadow validator.
 """
@@ -23,6 +27,7 @@ from .differential import (
     normalized,
 )
 from .fuzz import FuzzReport, fuzz_gpt, fuzz_monitor, fuzz_table
+from .interleave import INTERLEAVED_SCHEMES, fuzz_interleaved
 from .oracle import MonitorOracle, ShadowPermissionOracle, TableWriteModel
 from .selfcheck import (
     SelfCheckHook,
@@ -34,6 +39,7 @@ from .selfcheck import (
 
 __all__ = [
     "FuzzReport",
+    "INTERLEAVED_SCHEMES",
     "MonitorOracle",
     "SelfCheckHook",
     "ShadowPermissionOracle",
@@ -43,6 +49,7 @@ __all__ = [
     "footprint_violations",
     "functional_view",
     "fuzz_gpt",
+    "fuzz_interleaved",
     "fuzz_monitor",
     "fuzz_table",
     "live_gpt_pages",

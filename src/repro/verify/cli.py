@@ -4,21 +4,37 @@ Runs the seeded fuzz harnesses and reports one summary line per run::
 
     python -m repro verify --ops 2000 --seed 0 --scheme hpmp
     python -m repro verify            # all schemes (pmp, pmpt, hpmp, gpt)
+    python -m repro verify --interleaved --harts 4   # multi-hart invariant
 
-Exit status is non-zero when any run records a violation, so CI can gate
-on it directly.  The ``pmpt`` scheme additionally fuzzes bare PMP tables
-in all three modes (2-level, 3-level, flat) to cover the depth ablation.
+The ``pmpt`` scheme additionally fuzzes bare PMP tables in all three
+modes (2-level, 3-level, flat) to cover the depth ablation;
+``--interleaved`` switches to the multi-hart revocation harness
+(:mod:`repro.verify.interleave`).
+
+On a model mismatch the CLI prints, per failing run, the first failing
+op index and a copy-pasteable repro command carrying the exact seed.
+Exit status distinguishes the failure classes so CI can gate precisely:
+
+* ``0`` — every run clean;
+* ``1`` — model mismatch (one or more recorded violations);
+* ``3`` — internal error (a harness crashed instead of reporting).
 """
 
 from __future__ import annotations
 
 import argparse
+import traceback
 from typing import List, Optional
 
 from ..isolation.pmptable import MODE_2LEVEL, MODE_3LEVEL, MODE_FLAT
 from .fuzz import FuzzReport, fuzz_gpt, fuzz_monitor, fuzz_table
+from .interleave import INTERLEAVED_SCHEMES, fuzz_interleaved
 
 SCHEMES = ("pmp", "pmpt", "hpmp", "gpt")
+
+EXIT_OK = 0
+EXIT_MISMATCH = 1
+EXIT_INTERNAL = 3
 
 _TABLE_MODES = (
     ("2level", MODE_2LEVEL),
@@ -38,6 +54,22 @@ def run_scheme(scheme: str, ops: int, seed: int) -> List[FuzzReport]:
     return reports
 
 
+def _repro_command(args: argparse.Namespace, scheme: str) -> str:
+    """The exact command line that reproduces one failing run."""
+    parts = [f"python -m repro verify --scheme {scheme} --ops {args.ops} --seed {args.seed}"]
+    if args.interleaved:
+        parts.append(f"--interleaved --harts {args.harts} --quantum {args.quantum}")
+    return " ".join(parts)
+
+
+def _report_failure(report: FuzzReport, repro: str) -> None:
+    for violation in report.violations[:10]:
+        print(f"  - {violation}")
+    if report.first_violation_op is not None:
+        print(f"  first failing op: {report.first_violation_op} (seed {report.seed})")
+    print(f"  repro: {repro}")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro verify",
@@ -51,13 +83,53 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="limit to one scheme (default: run all)",
     )
+    parser.add_argument(
+        "--interleaved",
+        action="store_true",
+        help="run the multi-hart interleaved-stream harness instead "
+        f"(schemes: {', '.join(INTERLEAVED_SCHEMES)})",
+    )
+    parser.add_argument(
+        "--harts", type=int, default=2, help="hart count for --interleaved (default 2)"
+    )
+    parser.add_argument(
+        "--quantum",
+        type=int,
+        default=16,
+        help="scheduler quantum in references for --interleaved (default 16)",
+    )
     args = parser.parse_args(argv)
-    schemes = [args.scheme] if args.scheme else list(SCHEMES)
+    if args.interleaved:
+        if args.scheme is not None and args.scheme not in INTERLEAVED_SCHEMES:
+            parser.error(f"--interleaved supports schemes {INTERLEAVED_SCHEMES}")
+        schemes = [args.scheme] if args.scheme else list(INTERLEAVED_SCHEMES)
+    else:
+        schemes = [args.scheme] if args.scheme else list(SCHEMES)
     failed = False
     for scheme in schemes:
-        for report in run_scheme(scheme, args.ops, args.seed):
+        try:
+            if args.interleaved:
+                reports = [
+                    fuzz_interleaved(
+                        scheme,
+                        harts=args.harts,
+                        ops=args.ops,
+                        seed=args.seed,
+                        quantum=args.quantum,
+                    )
+                ]
+            else:
+                reports = run_scheme(scheme, args.ops, args.seed)
+        except Exception:
+            # A harness crash is not a model mismatch: the verifier itself
+            # broke.  Distinct exit code so CI never mislabels it.
+            traceback.print_exc()
+            print(f"internal error while fuzzing scheme {scheme!r}")
+            print(f"  repro: {_repro_command(args, scheme)}")
+            return EXIT_INTERNAL
+        for report in reports:
             print(report.summary())
-            for violation in report.violations[:10]:
-                print(f"  - {violation}")
-            failed = failed or not report.ok
-    return 1 if failed else 0
+            if not report.ok:
+                _report_failure(report, _repro_command(args, scheme))
+                failed = True
+    return EXIT_MISMATCH if failed else EXIT_OK

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..common.errors import AccessFault, MemoryError_, OutOfResources, VerificationError
 from ..common.types import (
@@ -62,17 +62,31 @@ _PERMS_OR_NONE = _PERMS + (Permission.none(),)
 
 @dataclass
 class FuzzReport:
-    """Outcome of one fuzz run."""
+    """Outcome of one fuzz run.
+
+    ``first_violation_op`` is the index of the op that produced the first
+    violation (None for a clean run, or when the violation fell outside
+    the op loop, e.g. in a final footprint sweep) — enough, together with
+    ``seed``, to reproduce a failure without rerunning the whole run blind.
+    """
 
     scheme: str
     ops: int
     seed: int
     checks: int = 0
     violations: List[str] = field(default_factory=list)
+    first_violation_op: Optional[int] = None
 
     @property
     def ok(self) -> bool:
         return not self.violations
+
+    def flag(self, message: str, op: Optional[int] = None) -> None:
+        """Record one violation (capped) and remember the first failing op."""
+        if op is not None and self.first_violation_op is None:
+            self.first_violation_op = op
+        if len(self.violations) < _MAX_VIOLATIONS:
+            self.violations.append(message)
 
     def raise_if_failed(self) -> None:
         if not self.ok:
@@ -84,9 +98,14 @@ class FuzzReport:
 
     def summary(self) -> str:
         status = "PASS" if self.ok else "FAIL"
+        where = (
+            f", first at op {self.first_violation_op}"
+            if self.first_violation_op is not None
+            else ""
+        )
         return (
             f"verify {self.scheme}: {self.ops} ops, seed {self.seed} -> "
-            f"{self.checks} checks, {len(self.violations)} violations [{status}]"
+            f"{self.checks} checks, {len(self.violations)} violations{where} [{status}]"
         )
 
 
@@ -144,9 +163,8 @@ def fuzz_table(
     model = TableWriteModel(region, mode)
     report = FuzzReport(scheme=f"pmpt-table-{mode_name}", ops=ops, seed=seed)
 
-    def flag(message: str) -> None:
-        if len(report.violations) < _MAX_VIOLATIONS:
-            report.violations.append(message)
+    def flag(message: str, op: Optional[int] = None) -> None:
+        report.flag(message, op)
 
     for step in range(ops):
         if len(report.violations) >= _MAX_VIOLATIONS:
@@ -175,18 +193,19 @@ def fuzz_table(
         if returned != predicted:
             flag(
                 f"op {step}: set [{base:#x},+{size:#x})={perm} wrote {returned} "
-                f"pmptes, model predicted {predicted}"
+                f"pmptes, model predicted {predicted}",
+                op=step,
             )
         for paddr in _table_sample(rng, base, size, window):
             report.checks += 1
             got = normalized(table.lookup(paddr).perm)
             want = oracle.perm_at(paddr)
             if got != want:
-                flag(f"op {step}: lookup({paddr:#x}) = {got}, oracle says {want}")
+                flag(f"op {step}: lookup({paddr:#x}) = {got}, oracle says {want}", op=step)
         if step % check_every == 0:
             report.checks += 1
             for message in footprint_violations(table, model, f"op {step}"):
-                flag(message)
+                flag(message, op=step)
     report.checks += 1
     for message in footprint_violations(table, model, "final"):
         flag(message)
@@ -234,9 +253,8 @@ def fuzz_monitor(
     space.map(vas[0], 4 * PAGE_SIZE)
     enclaves: List[int] = []
 
-    def flag(message: str) -> None:
-        if len(report.violations) < _MAX_VIOLATIONS:
-            report.violations.append(message)
+    def flag(message: str, op: Optional[int] = None) -> None:
+        report.flag(message, op)
 
     for step in range(ops):
         if len(report.violations) >= _MAX_VIOLATIONS:
@@ -244,7 +262,7 @@ def fuzz_monitor(
         _monitor_op(rng, monitor, system, enclaves, step)
         report.checks += 1  # the oracle's lockstep write-delta validation
         for message in oracle.violations:
-            flag(f"op {step}: {message}")
+            flag(f"op {step}: {message}", op=step)
         oracle.violations.clear()
         _check_views(rng, monitor, oracle, report, flag, step)
         if step % check_every == 0:
@@ -346,7 +364,8 @@ def _check_views(rng, monitor, oracle: MonitorOracle, report, flag, step: int) -
             if got != want:
                 flag(
                     f"op {step}: domain {domain_id} table resolves {got} at "
-                    f"{paddr:#x}, oracle says {want}"
+                    f"{paddr:#x}, oracle says {want}",
+                    op=step,
                 )
         # ...and the live checker against the current domain's effective view.
         report.checks += 1
@@ -355,7 +374,8 @@ def _check_views(rng, monitor, oracle: MonitorOracle, report, flag, step: int) -
         if got != want:
             flag(
                 f"op {step}: checker resolves {got} at {paddr:#x} with domain "
-                f"{current} current, oracle says {want}"
+                f"{current} current, oracle says {want}",
+                op=step,
             )
 
 
@@ -364,10 +384,10 @@ def _check_footprints(monitor, oracle: MonitorOracle, system, report, flag, step
         report.checks += 1
         label = f"op {step}: domain {domain_id}"
         for message in footprint_violations(table, oracle.models.get(domain_id), label):
-            flag(message)
+            flag(message, op=step)
         stray = [p for p in table.table_pages if not system.table_frames.owns(p)]
         if stray:
-            flag(f"{label}: {len(stray)} table pages not owned by the table pool")
+            flag(f"{label}: {len(stray)} table pages not owned by the table pool", op=step)
 
 
 def _check_timed_parity(system, space, vas, report, flag, step: int) -> None:
@@ -389,7 +409,7 @@ def _check_timed_parity(system, space, vas, report, flag, step: int) -> None:
             # The harness's working set lives outside every GMS, so the
             # current domain must always reach it; a fault here means an
             # entry escaped its region (e.g. a corrupted TOR lower bound).
-            flag(f"op {step}: timed walk faulted on harness page VA {va:#x}: {exc}")
+            flag(f"op {step}: timed walk faulted on harness page VA {va:#x}: {exc}", op=step)
             continue
         machine.cold_boot()
         full = machine.access(
@@ -402,14 +422,15 @@ def _check_timed_parity(system, space, vas, report, flag, step: int) -> None:
                 space.page_table, va, AccessType.READ, PrivilegeMode.USER, space.asid
             ).cycles
         except VerificationError as exc:
-            flag(f"op {step}: {exc}")
+            flag(f"op {step}: {exc}", op=step)
             continue
         finally:
             machine.engine.remove_hook(hook)
         if not fast == full == hooked:
             flag(
                 f"op {step}: cold-walk cycle parity broke at VA {va:#x}: "
-                f"access_cycles={fast}, access={full}, hooked={hooked}"
+                f"access_cycles={fast}, access={full}, hooked={hooked}",
+                op=step,
             )
 
 
@@ -465,9 +486,8 @@ def fuzz_gpt(ops: int = 1000, seed: int = 0, check_every: int = 8) -> FuzzReport
     report = FuzzReport(scheme="gpt", ops=ops, seed=seed)
     num_gibs = region.size // GIB
 
-    def flag(message: str) -> None:
-        if len(report.violations) < _MAX_VIOLATIONS:
-            report.violations.append(message)
+    def flag(message: str, op: Optional[int] = None) -> None:
+        report.flag(message, op)
 
     for step in range(ops):
         if len(report.violations) >= _MAX_VIOLATIONS:
@@ -494,15 +514,19 @@ def fuzz_gpt(ops: int = 1000, seed: int = 0, check_every: int = 8) -> FuzzReport
             got, _addrs = gpt.lookup(paddr)
             want = oracle.pas_at(paddr)
             if got != want:
-                flag(f"op {step}: GPC lookup({paddr:#x}) = {got.name}, oracle says {want.name}")
+                flag(
+                    f"op {step}: GPC lookup({paddr:#x}) = {got.name}, oracle says {want.name}",
+                    op=step,
+                )
         if step % check_every == 0:
             report.checks += 1
             for message in footprint_violations(gpt, label=f"op {step}: gpt"):
-                flag(message)
+                flag(message, op=step)
             if oracle.expected_pages() != len(gpt.table_pages):
                 flag(
                     f"op {step}: gpt holds {len(gpt.table_pages)} pages, oracle "
-                    f"expects {oracle.expected_pages()}"
+                    f"expects {oracle.expected_pages()}",
+                    op=step,
                 )
     report.checks += 1
     for message in footprint_violations(gpt, label="final: gpt"):

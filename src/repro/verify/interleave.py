@@ -1,0 +1,195 @@
+"""Interleaved-stream verification: the multi-hart revocation invariant.
+
+Single-hart fuzzing (:mod:`repro.verify.fuzz`) checks that the isolation
+*state* is always right.  Multi-hart execution adds a *temporal* hazard it
+cannot see: between a monitor revoking a region and a remote hart's TLB
+(or checker-view cache) being flushed, a stale inlined permission would
+let that hart keep reaching memory it no longer owns.  The secure
+monitor's cross-hart shootdown (:meth:`~repro.tee.monitor.SecureMonitor
+._charge_tlb_flush`) exists to close exactly that window, and this module
+is the harness that would catch it staying open.
+
+:func:`fuzz_interleaved` runs seeded episodes over one multi-hart
+:class:`~repro.soc.system.System`:
+
+1. *Grant + fill* — the host is granted a fresh region, every hart maps
+   it and touches every page (interleaved), loading private TLBs with
+   inlined permissions.
+2. *Probe + revoke* — per-hart probe streams are interleaved under the
+   seeded round-robin scheduler with one revocation call inserted at a
+   fuzzed point in a fuzzed hart's stream.  The invariant checked at
+   every probe, in schedule order: **after ``revoke_region`` returns, no
+   hart reaches a revoked page** — a successful access is a violation,
+   as is any resident TLB entry still holding an inlined permission into
+   the region (scanned via :meth:`~repro.paging.tlb.TLB
+   .resident_entries`, which is side-effect free).
+
+Everything is deterministic in ``(scheme, harts, ops, seed, quantum)``;
+a failure report carries the schedule-order op index of the first
+violation, so ``--seed``/op pairs reproduce exactly.  Reverting the
+shootdown (``monitor.shootdown_enabled = False``) must make this fuzzer
+fail — ``tests/test_verify_interleaved.py`` pins that as a regression
+test on the detector itself.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..common.errors import AccessFault, ConfigurationError
+from ..common.types import KIB, PAGE_SHIFT, PAGE_SIZE, AccessType, Permission, PrivilegeMode
+from ..soc.smp import HartProgram, RoundRobinInterleaver
+from ..soc.system import AddressSpace, System
+from ..tee.monitor import HOST_DOMAIN_ID, SecureMonitor
+from .fuzz import _MAX_VIOLATIONS, FuzzReport
+
+#: Schemes with a revocable host view.  Plain PMP keeps a background
+#: host-access entry over all DRAM, so "the host cannot reach a revoked
+#: page" is not an invariant there; the table schemes revoke for real.
+INTERLEAVED_SCHEMES = ("pmpt", "hpmp")
+
+_EPISODE_SIZES = (16 * PAGE_SIZE, 64 * KIB)
+_VA_BASE = 0x50_0000
+
+
+def _stale_entries(machine, region) -> List[Tuple[int, str, int]]:
+    """(hart, level, pa) for every resident inlined translation into *region*.
+
+    An entry whose ``checker_perm`` still allows any access would satisfy
+    a TLB hit without consulting the checker — the stale window the
+    shootdown must have closed.  Entries with no inlined permission are
+    harmless: a hit on them re-checks, and the checker says no.
+    """
+    stale = []
+    for hart in getattr(machine, "harts", None) or [machine]:
+        for level, _key, entry in hart.tlb.resident_entries():
+            pa = entry.ppn << PAGE_SHIFT
+            perm = entry.checker_perm
+            if region.contains(pa) and perm is not None and (perm.r or perm.w or perm.x):
+                stale.append((hart.hart_id, level, pa))
+    return stale
+
+
+def fuzz_interleaved(
+    scheme: str = "hpmp",
+    harts: int = 2,
+    ops: int = 200,
+    seed: int = 0,
+    quantum: int = 16,
+) -> FuzzReport:
+    """Fuzz revocation under interleaved multi-hart execution.
+
+    *ops* bounds the total probe/revoke calls issued across episodes (the
+    fill phases ride on top).  Returns a :class:`FuzzReport` whose
+    ``first_violation_op`` is a schedule-order index.
+    """
+    if scheme not in INTERLEAVED_SCHEMES:
+        raise ConfigurationError(
+            f"interleaved verification needs a table scheme {INTERLEAVED_SCHEMES}, "
+            f"got {scheme!r} (plain pmp keeps background host access)"
+        )
+    rng = random.Random(seed)
+    system = System(checker_kind=scheme, harts=harts)
+    monitor = SecureMonitor(system)
+    machine = system.machine
+    report = FuzzReport(scheme=f"smp-{scheme}-h{harts}", ops=ops, seed=seed)
+    spaces = [system.new_address_space() for _ in range(harts)]
+    op_counter = [0]  # schedule-order op index, shared by every call op
+    state = {"revoked": False}
+    va_cursor = _VA_BASE
+
+    def make_probe(space: AddressSpace, pva: int):
+        def probe(hart, hart_id: int, now: int):
+            op = op_counter[0]
+            op_counter[0] += 1
+            report.checks += 1
+            try:
+                result = hart.access(
+                    space.page_table, pva, AccessType.READ, PrivilegeMode.USER, space.asid
+                )
+            except AccessFault:
+                if not state["revoked"]:
+                    report.flag(
+                        f"op {op}: hart {hart_id} lost access to VA {pva:#x} "
+                        f"before any revocation",
+                        op=op,
+                    )
+                return 0
+            if state["revoked"]:
+                report.flag(
+                    f"op {op}: hart {hart_id} reached revoked page VA {pva:#x} "
+                    f"(PA {space.pa_of(pva):#x}) after revoke_region returned "
+                    f"-- stale-TLB window",
+                    op=op,
+                )
+            return result.cycles
+
+        return probe
+
+    def make_revoke(gms, region):
+        def revoke(hart, hart_id: int, now: int):
+            op = op_counter[0]
+            op_counter[0] += 1
+            cycles = monitor.revoke_region(HOST_DOMAIN_ID, gms, hart_id=hart_id, now=now)
+            state["revoked"] = True
+            # The shootdown completed inside revoke_region: scan every
+            # hart's TLB *at this schedule point* for surviving inlined
+            # permissions into the region.
+            report.checks += 1
+            for stale_hart, level, pa in _stale_entries(machine, region):
+                report.flag(
+                    f"op {op}: hart {stale_hart} {level} TLB still holds an "
+                    f"inlined permission for revoked PA {pa:#x}",
+                    op=op,
+                )
+            return cycles
+
+        return revoke
+
+    episode = 0
+    remaining = ops
+    while remaining >= 2 * harts and len(report.violations) < _MAX_VIOLATIONS:
+        size = rng.choice(_EPISODE_SIZES)
+        gms, _ = monitor.grant_region(HOST_DOMAIN_ID, size, Permission.rw())
+        region = gms.region
+        npages = size // PAGE_SIZE
+        va = va_cursor
+        va_cursor += size + 16 * PAGE_SIZE  # fresh window: dead VAs stay dead
+        for space in spaces:
+            space.map_shared(va, region.base, size)
+        # Phase 1: interleaved fill — every hart walks every page, so each
+        # private TLB holds inlined permissions for the whole region.
+        fill = [
+            HartProgram(spaces[i].page_table, asid=spaces[i].asid).run(
+                va, PAGE_SIZE, npages
+            )
+            for i in range(harts)
+        ]
+        RoundRobinInterleaver(machine, quantum=quantum, seed=rng.randrange(1 << 30)).run(fill)
+        # Phase 2: interleaved probes with one fuzzed revocation point.
+        state["revoked"] = False
+        revoker = rng.randrange(harts)
+        programs = []
+        for i in range(harts):
+            program = HartProgram(spaces[i].page_table, asid=spaces[i].asid)
+            calls = [
+                make_probe(spaces[i], va + rng.randrange(npages) * PAGE_SIZE)
+                for _ in range(rng.randint(3, 8))
+            ]
+            if i == revoker:
+                calls.insert(rng.randint(0, len(calls)), make_revoke(gms, region))
+            for fn in calls:
+                program.call(fn)
+            remaining -= len(calls)
+            programs.append(program)
+        RoundRobinInterleaver(machine, quantum=quantum, seed=rng.randrange(1 << 30)).run(programs)
+        # Episode close: nothing stale may outlive the episode either.
+        report.checks += 1
+        for stale_hart, level, pa in _stale_entries(machine, region):
+            report.flag(
+                f"episode {episode}: hart {stale_hart} {level} TLB retains "
+                f"revoked PA {pa:#x} after the probe phase"
+            )
+        episode += 1
+    return report

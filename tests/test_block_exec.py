@@ -419,6 +419,46 @@ class TestRunnerIntegration:
         assert stats_block.snapshot() == stats_scalar.snapshot()
 
 
+class TestMultiHartParity:
+    """Block vs --no-block under 2-hart interleaving.
+
+    The interleaver splits fused runs at every hart-switch quantum
+    boundary, and each chunk's bulk path falls back to scalar at its
+    edges — so even with interleaving, block and scalar execution must
+    stay byte-identical per hart.
+    """
+
+    def _interleave(self, block, quantum):
+        from repro.soc import HartProgram, RoundRobinInterleaver
+
+        system = build_system(block, harts=2)
+        machine = system.machine
+        programs = []
+        for i in range(2):
+            space = system.new_address_space()
+            space.map(VA, 24 * PAGE_SIZE)
+            programs.append(
+                HartProgram(space.page_table, asid=space.asid)
+                .run(VA, PAGE_SIZE, 24, AccessType.READ)
+                .run(VA, 0, 40, AccessType.READ)  # stride-0 run: bulk-hit bait
+                .run(VA, PAGE_SIZE, 24, AccessType.WRITE)
+            )
+        result = RoundRobinInterleaver(machine, quantum=quantum, seed=3).run(programs)
+        return result, [
+            (hart.stats.snapshot(), hart.tlb.stats.snapshot(), hart.hierarchy.stats.snapshot())
+            for hart in machine.harts
+        ]
+
+    @pytest.mark.parametrize("quantum", (1, 7, 64))
+    def test_block_matches_scalar_interleaved(self, quantum):
+        block_result, block_state = self._interleave(True, quantum)
+        scalar_result, scalar_state = self._interleave(False, quantum)
+        assert [vars(h) for h in block_result.harts] == [
+            vars(h) for h in scalar_result.harts
+        ]
+        assert block_state == scalar_state
+
+
 class TestStatsBlockEntryPoints:
     def test_histogram_observe_count(self):
         one = Histogram("lat")

@@ -1,0 +1,122 @@
+"""Histogram count-observation merge semantics and multi-source hook rollups.
+
+The multi-hart engine aggregates per-hart HistogramHook groups into one
+deterministic report; these tests pin the algebra that rollup relies on:
+``observe(count=)`` must be exactly N repeated observes, and merging
+(live objects, snapshots, payloads, in any order) must be associative and
+lossless over counts, totals, extrema and bucket shapes.
+"""
+
+from repro.common.stats import Histogram, StatGroup
+from repro.common.types import AccessType
+from repro.engine.hooks import HistogramHook, RefKind
+
+
+class TestObserveCountMerge:
+    def test_count_observation_equals_repeats_under_merge(self):
+        repeats, counted = Histogram("a"), Histogram("b")
+        for value, n in ((3, 5), (17, 2), (400, 1)):
+            for _ in range(n):
+                repeats.observe(value)
+            counted.observe(value, count=n)
+        target_a, target_b = Histogram("m"), Histogram("m")
+        target_a.merge(repeats)
+        target_b.merge(counted)
+        assert target_a.snapshot() == target_b.snapshot()
+
+    def test_merge_is_associative_over_count_batches(self):
+        parts = []
+        for seed_value in (1, 9, 120):
+            h = Histogram()
+            h.observe(seed_value, count=seed_value)
+            parts.append(h)
+        left = Histogram("l")
+        for h in parts:
+            left.merge(h)
+        right = Histogram("r")
+        for h in reversed(parts):
+            right.merge(h.snapshot())  # snapshot form, reverse order
+        assert left.snapshot()["raw"] == right.snapshot()["raw"]
+        assert (left.count, left.total, left.min, left.max) == (
+            right.count,
+            right.total,
+            right.min,
+            right.max,
+        )
+
+    def test_from_snapshot_round_trips_counts(self):
+        h = Histogram("lat")
+        h.observe(12, count=3)
+        h.observe(100, count=2)
+        clone = Histogram.from_snapshot(h.snapshot(), name="clone")
+        assert clone.snapshot() == h.snapshot()
+        assert clone.percentile(50) == h.percentile(50)
+
+    def test_merged_percentiles_respect_counts(self):
+        fast, slow = Histogram(), Histogram()
+        fast.observe(1, count=99)
+        slow.observe(1024, count=1)
+        merged = Histogram("m")
+        merged.merge(fast)
+        merged.merge(slow)
+        assert merged.count == 100
+        assert merged.percentile(50) == 1
+        assert merged.mean == (99 + 1024) / 100
+
+
+class TestHistogramHookAggregation:
+    @staticmethod
+    def _feed(hook: HistogramHook, latencies, kind=RefKind.DATA):
+        for lat in latencies:
+            hook.on_reference(kind, 0x8000_0000, lat)
+            hook.on_access(0x40_0000, AccessType.READ, lat + 2, tlb_hit=lat % 2 == 0, refs=1)
+
+    def test_two_sources_roll_up_losslessly(self):
+        # Two hooks model two harts' private engines; the rollup is the
+        # payload merge the multi-hart report uses.
+        hart0, hart1 = HistogramHook("hart0"), HistogramHook("hart1")
+        self._feed(hart0, (4, 4, 8))
+        self._feed(hart1, (16, 32))
+        merged = StatGroup("machine")
+        merged.merge_payload(hart0.stats.to_payload())
+        merged.merge_payload(hart1.stats.to_payload())
+        assert merged["accesses"] == 5
+        assert merged["refs.data"] == 5
+        lat = merged.histogram("access_cycles")
+        assert lat.count == 5
+        assert lat.total == sum(v + 2 for v in (4, 4, 8, 16, 32))
+        assert (lat.min, lat.max) == (6, 34)
+
+    def test_rollup_order_independent(self):
+        a, b = HistogramHook("a"), HistogramHook("b")
+        self._feed(a, (5, 9), kind=RefKind.DATA)
+        self._feed(b, (100,), kind=RefKind.PT)
+        ab, ba = StatGroup("ab"), StatGroup("ba")
+        for target, order in ((ab, (a, b)), (ba, (b, a))):
+            for hook in order:
+                target.merge_payload(hook.stats.to_payload())
+        assert ab.snapshot() == ba.snapshot()
+        assert {k: h.snapshot() for k, h in ab.histograms().items()} == {
+            k: h.snapshot() for k, h in ba.histograms().items()
+        }
+
+    def test_sources_unchanged_by_rollup(self):
+        hook = HistogramHook("h")
+        self._feed(hook, (7,))
+        before = hook.stats.to_payload()
+        merged = StatGroup("m")
+        merged.merge_payload(hook.stats.to_payload())
+        merged.merge_payload(hook.stats.to_payload())  # double-merge doubles target
+        assert hook.stats.to_payload() == before
+        assert merged["accesses"] == 2 * hook.stats["accesses"]
+
+    def test_fault_and_tlb_counters_aggregate(self):
+        a, b = HistogramHook(), HistogramHook()
+        self._feed(a, (2, 4))  # both even: 2 tlb hits
+        self._feed(b, (3,))  # odd: no hit
+        b.on_fault(RuntimeError("x"))
+        merged = StatGroup("m")
+        merged.merge_payload(a.stats.to_payload())
+        merged.merge_payload(b.stats.to_payload())
+        assert merged["tlb_hits"] == 2
+        assert merged["faults"] == 1

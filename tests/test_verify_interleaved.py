@@ -1,0 +1,112 @@
+"""Interleaved-stream verification: the detector, its regression, the CLI."""
+
+import pytest
+
+import repro.verify.interleave as interleave
+from repro.common.errors import ConfigurationError
+from repro.tee.monitor import SecureMonitor
+from repro.verify import fuzz_interleaved
+from repro.verify.cli import EXIT_INTERNAL, EXIT_MISMATCH, EXIT_OK, main
+from repro.verify.fuzz import FuzzReport
+
+
+class TestFuzzInterleaved:
+    @pytest.mark.parametrize("scheme", ("pmpt", "hpmp"))
+    def test_clean_with_shootdown(self, scheme):
+        report = fuzz_interleaved(scheme=scheme, harts=2, ops=80, seed=0)
+        assert report.ok, report.violations
+        assert report.checks > 0
+        assert report.first_violation_op is None
+
+    def test_deterministic(self):
+        a = fuzz_interleaved(scheme="hpmp", harts=3, ops=60, seed=42)
+        b = fuzz_interleaved(scheme="hpmp", harts=3, ops=60, seed=42)
+        assert (a.checks, a.violations, a.first_violation_op) == (
+            b.checks,
+            b.violations,
+            b.first_violation_op,
+        )
+
+    def test_single_hart_trivially_clean(self):
+        report = fuzz_interleaved(scheme="hpmp", harts=1, ops=40, seed=1)
+        assert report.ok
+
+    def test_pmp_scheme_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fuzz_interleaved(scheme="pmp", harts=2, ops=10)
+
+    def test_reverted_shootdown_is_detected(self, monkeypatch):
+        # The regression test the detector exists for: revert the monitor's
+        # cross-hart shootdown and the temporal invariant must fire, with a
+        # schedule-order op index for the repro line.
+        class NoShootdownMonitor(SecureMonitor):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.shootdown_enabled = False
+
+        monkeypatch.setattr(interleave, "SecureMonitor", NoShootdownMonitor)
+        report = fuzz_interleaved(scheme="hpmp", harts=2, ops=120, seed=0)
+        assert not report.ok
+        assert report.first_violation_op is not None
+        assert any(
+            "stale" in v or "revoked" in v for v in report.violations
+        ), report.violations
+
+
+class TestVerifyCli:
+    def test_interleaved_clean_exit(self, capsys):
+        assert main(["--interleaved", "--ops", "60", "--scheme", "hpmp"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "smp-hpmp-h2" in out and "PASS" in out
+
+    def test_interleaved_rejects_pmp(self):
+        with pytest.raises(SystemExit):
+            main(["--interleaved", "--scheme", "pmp"])
+
+    def test_mismatch_exit_and_repro_line(self, capsys, monkeypatch):
+        failing = FuzzReport(scheme="smp-hpmp-h2", ops=10, seed=7)
+        failing.flag("op 3: hart 1 reached revoked page", op=3)
+
+        monkeypatch.setattr(
+            "repro.verify.cli.fuzz_interleaved", lambda *a, **k: failing
+        )
+        code = main(
+            ["--interleaved", "--scheme", "hpmp", "--ops", "10", "--seed", "7"]
+        )
+        out = capsys.readouterr().out
+        assert code == EXIT_MISMATCH
+        assert "first failing op: 3 (seed 7)" in out
+        assert (
+            "repro: python -m repro verify --scheme hpmp --ops 10 --seed 7 "
+            "--interleaved --harts 2 --quantum 16" in out
+        )
+
+    def test_scalar_mismatch_prints_repro(self, capsys, monkeypatch):
+        failing = FuzzReport(scheme="hpmp", ops=5, seed=2)
+        failing.flag("op 1: checker diverged", op=1)
+        monkeypatch.setattr(
+            "repro.verify.cli.run_scheme", lambda *a, **k: [failing]
+        )
+        code = main(["--scheme", "hpmp", "--ops", "5", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert code == EXIT_MISMATCH
+        assert "first failing op: 1 (seed 2)" in out
+        assert "repro: python -m repro verify --scheme hpmp --ops 5 --seed 2" in out
+
+    def test_internal_error_exit_code(self, capsys, monkeypatch):
+        def boom(*args, **kwargs):
+            raise RuntimeError("harness crashed")
+
+        monkeypatch.setattr("repro.verify.cli.run_scheme", boom)
+        code = main(["--scheme", "hpmp", "--ops", "5"])
+        out = capsys.readouterr().out
+        assert code == EXIT_INTERNAL
+        assert "internal error" in out and "repro:" in out
+
+    def test_first_violation_op_in_summary(self):
+        report = FuzzReport(scheme="x", ops=10, seed=0)
+        report.flag("late message")  # no op index: doesn't pin the op
+        report.flag("op 4: diverged", op=4)
+        report.flag("op 6: echo", op=6)  # first index wins
+        assert report.first_violation_op == 4
+        assert "first at op 4" in report.summary()
