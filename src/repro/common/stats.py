@@ -19,6 +19,7 @@ single integer add.
 from __future__ import annotations
 
 import json
+import math
 from collections import Counter
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Union
 
@@ -91,17 +92,28 @@ class Histogram:
     def percentile(self, p: float) -> Optional[int]:
         """Upper bound of the bucket holding the *p*-th percentile sample.
 
-        Returns None on an empty histogram.  ``p`` is in [0, 100].
+        Nearest-rank definition: the selected sample is the one at rank
+        ``ceil(p / 100 * count)``, clamped into ``[1, count]`` — p=25 over
+        10 samples selects rank 3.  (``round`` would use Python's
+        half-to-even and land half-integer ranks one sample — and possibly
+        one bucket — early.)  Returns None on an empty histogram.  ``p`` is
+        in [0, 100].
         """
         if not self.count:
             return None
-        rank = max(1, int(round(p / 100.0 * self.count)))
+        rank = min(self.count, max(1, math.ceil(p / 100.0 * self.count)))
         seen = 0
+        top = 0
         for index, n in enumerate(self._buckets):
+            if n:
+                top = index
             seen += n
             if seen >= rank:
                 return 0 if index == 0 else (1 << index) - 1
-        return (1 << len(self._buckets)) - 1
+        # Unreachable while the bucket counts sum to self.count (rank is
+        # clamped to that sum); answer with the highest occupied bucket's
+        # upper bound rather than a label no bucket has.
+        return 0 if top == 0 else (1 << top) - 1
 
     def merge(self, other: Union["Histogram", Mapping[str, object]]) -> None:
         """Fold another histogram (or its :meth:`snapshot`) into this one."""

@@ -76,6 +76,20 @@ def emit_metrics(
     return sink
 
 
+def concat_rows(parts: Sequence[List[Dict[str, object]]], **_kwargs: object) -> List[Dict[str, object]]:
+    """Sub-shard merge for cells whose units are row-disjoint: the per-unit
+    row lists concatenated in partition order.
+
+    This is the merge half of the intra-cell sharding contract
+    (:mod:`repro.runner.shard`) for every cell that iterates independent
+    simulations and emits one row (or row group) per unit — GAP kernels,
+    RV8 programs, FunctionBench functions, image-chain sizes.  Experiment
+    modules re-import it so a :class:`~repro.experiments.Shard` declaration
+    can name it directly.
+    """
+    return [row for part in parts for row in part]
+
+
 def rows_to_jsonable(rows: Iterable[Mapping[str, object]]) -> List[Dict[str, object]]:
     """Coerce experiment rows to JSON-safe dicts (same coercion the sink uses)."""
     return [{str(k): _plain(v) for k, v in row.items()} for row in rows]

@@ -58,6 +58,15 @@ def build_parser() -> argparse.ArgumentParser:
         "execution paths (rows are byte-identical either way; this is the "
         "parity escape hatch, at scalar-path wall time)",
     )
+    parser.add_argument(
+        "--shard-cells",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="split heavy cells into independently scheduled sub-shards with a "
+        "pure merge step (rows stay byte-identical to the unsharded cell): "
+        "auto = shard exactly when more than one worker is available "
+        "(default), on/off = force",
+    )
     parser.add_argument("--store", default=DEFAULT_STORE_DIR, metavar="DIR", help=f"results store directory (default {DEFAULT_STORE_DIR})")
     parser.add_argument("--manifest", default=DEFAULT_MANIFEST, metavar="PATH", help=f"where to write the run manifest (default {DEFAULT_MANIFEST})")
     parser.add_argument("--summary", default=DEFAULT_SUMMARY, metavar="PATH", help=f"where to write the campaign summary (default {DEFAULT_SUMMARY})")
@@ -136,6 +145,12 @@ def bench_summary(manifest: RunManifest, store: ResultStore, generated_unix: Opt
             if c.wall_s > 0 and c.telemetry.get("hierarchy.refs")
         },
         "block_mode": manifest.block,
+        "shard_cells": manifest.shard_cells,
+        # Cells that ran as sub-shard assemblies this campaign, with their
+        # sub-shard counts.  Their wall_s above is the *sequential
+        # equivalent* (sum of sub-shard walls); the scheduling win shows up
+        # in the campaign wall_s instead.
+        "subsharded_cells": {c.task_id: c.subshards for c in manifest.cells if c.subshards},
         "failed_cells": [c.task_id for c in manifest.failed],
         "headline": _headline(store, manifest),
         "telemetry": telemetry.snapshot(),
@@ -169,6 +184,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         progress=_progress,
         telemetry=args.telemetry,
         block=not args.no_block,
+        shard_cells={"auto": None, "on": True, "off": False}[args.shard_cells],
     )
     if pool.effective_jobs < pool.jobs:
         print(

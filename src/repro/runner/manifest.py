@@ -42,6 +42,10 @@ class CellRecord:
     rows_sha256: str = ""
     error: Optional[str] = None
     telemetry: Dict[str, int] = field(default_factory=dict)  # engine counters
+    #: Number of intra-cell sub-shards this cell was split into (0 = ran
+    #: whole).  A nonzero count goes with ``worker="merge"``: the record is
+    #: the synthesis of that many sub-shard tasks.
+    subshards: int = 0
 
     @property
     def failed(self) -> bool:
@@ -61,6 +65,8 @@ class CellRecord:
             "rows_sha256": self.rows_sha256,
             "telemetry": dict(self.telemetry),
         }
+        if self.subshards:
+            out["subshards"] = self.subshards
         if self.error:
             out["error"] = self.error
         return out
@@ -80,6 +86,7 @@ class CellRecord:
             rows_sha256=str(data.get("rows_sha256", "")),
             error=str(data["error"]) if data.get("error") else None,
             telemetry={str(k): int(v) for k, v in dict(data.get("telemetry", {})).items()},  # type: ignore[arg-type]
+            subshards=int(data.get("subshards", 0)),  # type: ignore[arg-type]
         )
 
 
@@ -93,6 +100,7 @@ class RunManifest:
     effective_jobs: int = 1  # after clamping to available CPUs
     telemetry: str = "light"  # per-cell engine telemetry level
     block: bool = True  # machines took the fused block path (--no-block clears)
+    shard_cells: bool = False  # heavy cells expanded into sub-shard tasks
     filters: List[str] = field(default_factory=list)
     resume: bool = False
     timeout_s: float = 0.0
@@ -139,6 +147,7 @@ class RunManifest:
             "effective_jobs": self.effective_jobs,
             "telemetry": self.telemetry,
             "block": self.block,
+            "shard_cells": self.shard_cells,
             "filters": list(self.filters),
             "resume": self.resume,
             "timeout_s": self.timeout_s,
@@ -163,6 +172,7 @@ class RunManifest:
             effective_jobs=int(data.get("effective_jobs", data.get("jobs", 1))),
             telemetry=str(data.get("telemetry", "light")),
             block=bool(data.get("block", True)),
+            shard_cells=bool(data.get("shard_cells", False)),
             filters=[str(f) for f in data.get("filters", [])],  # type: ignore[union-attr]
             resume=bool(data.get("resume", False)),
             timeout_s=float(data.get("timeout_s", 0.0)),

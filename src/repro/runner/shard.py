@@ -1,0 +1,119 @@
+"""Intra-cell sharding: split one heavy campaign cell into sub-shards.
+
+``repro.experiments.SHARDS`` names each experiment's *cells*; this module
+adds the next level down.  A cell whose :class:`~repro.experiments.Shard`
+declaration carries ``partition``/``merge`` function names can be expanded
+into several **sub-shard** :class:`~repro.runner.tasks.TaskSpec`s, each an
+independently simulable slice of the cell's workload stream: one GAP kernel
+(its own ``System`` per scheme), one redis isolation scheme's server and
+request stream, one FunctionBench function's cold node, one consolidation
+(domain-count × scheme) point.  Every slice constructs its own machines and
+explicitly seeded RNGs, so the simulation a sub-shard performs is bit-for-bit
+the slice the unsharded cell would have performed — determinism is
+structural, not statistical.
+
+The contract, checked differentially by ``tests/test_subshard.py``:
+
+* ``partition(**cell_kwargs)`` returns ``[(name, func, kwargs), ...]`` —
+  JSON-safe, unique names, declaration order fixed;
+* ``merge(parts, **cell_kwargs)`` is a *pure* fold of the sub-shard row
+  lists (in partition order) back into **exactly** the rows the unsharded
+  cell function emits — byte-identical canonical JSON, hence identical
+  ``rows_sha256`` digests and an unchanged regression-gate baseline.
+
+Sub-shards are first-class pool tasks: they get their own content-addressed
+store keys (``subshard`` joins the identity — see
+:meth:`~repro.runner.tasks.TaskSpec.identity`), their own timeouts/retries,
+and their own ``--resume`` cache lines.  The synthesis step that runs the
+merge lives in :class:`~repro.runner.pool.CampaignPool`.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .tasks import TaskSpec
+
+#: Joins a cell task id and a sub-shard name: ``fig11/gap-boom#bfs``.
+SUBSHARD_SEP = "#"
+
+
+def shard_plan(spec: TaskSpec) -> Optional[Tuple[str, str]]:
+    """The ``(partition, merge)`` function names declared for *spec*'s cell,
+    or None when the cell is not shardable (or the spec is unknown to the
+    experiment registry — e.g. the pool's self-test specs)."""
+    from ..experiments import SHARDS
+
+    for shard in SHARDS.get(spec.experiment, ()):
+        if shard.name == spec.shard:
+            if shard.partition and shard.merge:
+                return shard.partition, shard.merge
+            return None
+    return None
+
+
+def _resolve(module_name: str, func_name: str) -> Callable:
+    module = importlib.import_module(module_name)
+    func = getattr(module, func_name, None)
+    if not callable(func):
+        raise LookupError(f"{module_name} has no callable {func_name!r}")
+    return func
+
+
+def expand(spec: TaskSpec) -> Optional[List[TaskSpec]]:
+    """Expand a cell spec into its sub-shard specs, or None.
+
+    Returns None when the cell declares no partition, when *spec* is itself
+    a sub-shard, or when the partition yields fewer than two units (nothing
+    to parallelize — the cell runs whole, exactly as before).
+    """
+    if spec.subshard:
+        return None
+    plan = shard_plan(spec)
+    if plan is None:
+        return None
+    partition_name, _ = plan
+    partition = _resolve(spec.module, partition_name)
+    units = partition(**dict(spec.kwargs))
+    subs: List[TaskSpec] = []
+    seen: set = set()
+    for name, func, kwargs in units:
+        name = str(name)
+        if SUBSHARD_SEP in name:
+            raise ValueError(f"{spec.task_id}: sub-shard name {name!r} contains {SUBSHARD_SEP!r}")
+        if name in seen:
+            raise ValueError(f"{spec.task_id}: duplicate sub-shard name {name!r}")
+        seen.add(name)
+        subs.append(
+            TaskSpec(
+                task_id=f"{spec.task_id}{SUBSHARD_SEP}{name}",
+                experiment=spec.experiment,
+                shard=spec.shard,
+                module=spec.module,
+                func=str(func),
+                kwargs=dict(kwargs),
+                subshard=name,
+            )
+        )
+    if len(subs) < 2:
+        return None
+    return subs
+
+
+def merge_rows(spec: TaskSpec, parts: Sequence[List[Dict[str, object]]]) -> List[Dict[str, object]]:
+    """Fold sub-shard row lists (partition order) into the cell's rows.
+
+    Pure: reads only *parts* and the cell kwargs, simulates nothing — the
+    synthesis step can therefore run in the parent process at negligible
+    cost and its output is byte-identical to the unsharded cell's rows.
+    """
+    plan = shard_plan(spec)
+    if plan is None:
+        raise LookupError(f"{spec.task_id}: cell declares no sub-shard merge")
+    _, merge_name = plan
+    merge = _resolve(spec.module, merge_name)
+    rows = merge(list(parts), **dict(spec.kwargs))
+    if not isinstance(rows, list):
+        raise TypeError(f"{spec.task_id}: merge {merge_name} returned {type(rows).__name__}, expected list of rows")
+    return rows

@@ -16,7 +16,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 import tempfile
+import time
 from pathlib import Path
 from typing import Dict, Iterator, List, Mapping, Optional
 
@@ -30,6 +32,13 @@ SCHEMA_VERSION = 1
 #: Default store location, relative to the invoking directory (the repo root
 #: in CI and the documented workflows).
 DEFAULT_STORE_DIR = os.path.join("benchmarks", "results", "store")
+
+#: A ``.{key}.*.tmp`` scratch file older than this is an orphan.  A live
+#: :meth:`ResultStore.put` holds its temp file for milliseconds, so an hour
+#: of age can only mean the writer was killed between ``mkstemp`` and
+#: ``os.replace`` (e.g. a worker terminated at its timeout) and its cleanup
+#: handler never ran.
+TMP_MAX_AGE_S = 3600.0
 
 
 #: Process-wide memo for :func:`code_version` — the sources cannot change
@@ -73,6 +82,32 @@ class ResultStore:
     def __init__(self, root: str = DEFAULT_STORE_DIR, version: Optional[str] = None):
         self.root = Path(root)
         self.version = version if version is not None else code_version()
+        self.sweep_stale_tmp()
+
+    # -- hygiene -------------------------------------------------------------
+
+    def sweep_stale_tmp(self, max_age_s: float = TMP_MAX_AGE_S) -> int:
+        """Remove orphaned ``.{key}.*.tmp`` scratch files; returns the count.
+
+        A worker killed between ``mkstemp`` and ``os.replace`` (a timeout
+        terminates the process, skipping :meth:`put`'s cleanup handler)
+        leaves its temp file behind forever.  Only files older than
+        *max_age_s* are swept, so a sibling process's in-flight write — held
+        for milliseconds — is never touched.  Runs on every store
+        construction.
+        """
+        if not self.root.is_dir():
+            return 0
+        cutoff = time.time() - max(0.0, max_age_s)
+        removed = 0
+        for path in self.root.glob(".*.tmp"):
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                continue  # raced with another sweeper or a finishing writer
+        return removed
 
     # -- keys ----------------------------------------------------------------
 
@@ -109,6 +144,19 @@ class ResultStore:
         except (OSError, ValueError):
             return None
         if not isinstance(payload, dict) or payload.get("schema") != SCHEMA_VERSION:
+            # A decodable entry with the wrong schema was written by an
+            # older payload generation; nothing will ever read it again, so
+            # unlink it instead of letting --resume runs accumulate
+            # unreadable files.
+            stale = payload.get("schema") if isinstance(payload, dict) else "not-a-dict"
+            try:
+                os.unlink(path)
+                print(
+                    f"results store: dropped {path.name} (schema {stale!r} != {SCHEMA_VERSION})",
+                    file=sys.stderr,
+                )
+            except OSError:
+                pass
             return None
         return payload
 
@@ -133,9 +181,11 @@ class ResultStore:
     # -- enumeration ---------------------------------------------------------
 
     def keys(self) -> List[str]:
+        """Committed entry keys only — in-flight/orphaned ``.tmp`` scratch
+        files (hidden, non-``.json``) never surface here."""
         if not self.root.is_dir():
             return []
-        return sorted(p.stem for p in self.root.glob("*.json"))
+        return sorted(p.stem for p in self.root.glob("*.json") if not p.name.startswith("."))
 
     def __len__(self) -> int:
         return len(self.keys())

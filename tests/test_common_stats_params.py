@@ -1,5 +1,8 @@
 """Tests for stats counters, machine parameter presets, and report helpers."""
 
+import math
+import random
+
 import pytest
 
 from repro.common.params import CacheParams, boom, machine_params, rocket
@@ -131,6 +134,53 @@ class TestHistogram:
         assert h.count == 0 and h.snapshot()["raw"] == {}
         h.merge(snap)
         assert h.snapshot() == snap
+
+
+class TestPercentileNearestRank:
+    """The percentile is nearest-rank — ``ceil(p/100 * n)``, clamped to
+    [1, n] — reported as the containing bucket's upper bound.  Property-
+    checked against a sorted-sample reference over randomized streams."""
+
+    @staticmethod
+    def _reference(values, p):
+        ordered = sorted(values)
+        rank = min(len(ordered), max(1, math.ceil(p / 100.0 * len(ordered))))
+        v = ordered[rank - 1]
+        return 0 if v == 0 else (1 << v.bit_length()) - 1
+
+    def test_matches_sorted_sample_reference(self):
+        rng = random.Random(20260809)
+        for _trial in range(25):
+            n = rng.randint(1, 200)
+            values = [rng.randint(0, 5000) for _ in range(n)]
+            h = Histogram()
+            for v in values:
+                h.observe(v)
+            for p in (0, 1, 10, 25, 50, 75, 90, 95, 99, 100):
+                assert h.percentile(p) == self._reference(values, p), (n, p)
+
+    def test_half_integer_rank_rounds_up(self):
+        # 10 samples at p=25: rank 2.5 must ceil to 3 (the first 8-15
+        # sample), never round half-to-even down to 2 (a 1-bucket sample).
+        h = Histogram()
+        h.observe(1, count=2)
+        h.observe(8, count=8)
+        assert h.percentile(25) == 15
+
+    def test_p100_is_the_max_bucket_not_a_fallthrough(self):
+        h = Histogram()
+        h.observe(3)
+        h.observe(700)
+        assert h.percentile(100) == 1023  # 700's bucket bound, not 2**buckets
+        lone = Histogram()
+        lone.observe(0, count=4)
+        assert lone.percentile(100) == 0
+
+    def test_single_sample_every_percentile(self):
+        h = Histogram()
+        h.observe(5)
+        for p in (0, 1, 50, 99, 100):
+            assert h.percentile(p) == 7  # the 4-7 bucket bound
 
 
 class TestMetricsSink:

@@ -7,6 +7,8 @@ deterministic report; these tests pin the algebra that rollup relies on:
 lossless over counts, totals, extrema and bucket shapes.
 """
 
+import random
+
 from repro.common.stats import Histogram, StatGroup
 from repro.common.types import AccessType
 from repro.engine.hooks import HistogramHook, RefKind
@@ -62,6 +64,89 @@ class TestObserveCountMerge:
         assert merged.count == 100
         assert merged.percentile(50) == 1
         assert merged.mean == (99 + 1024) / 100
+
+
+class TestSubShardMergeAlgebra:
+    """Randomized sub-shard partitions: folding per-shard stats back
+    together in *any* order or grouping must equal the unsharded aggregate.
+    This is the algebra the runner's intra-cell synthesis step
+    (``CampaignPool._synthesize``) relies on when it rolls per-sub-shard
+    telemetry payloads into one cell group."""
+
+    @staticmethod
+    def _observations(rng, n):
+        return [(rng.randint(0, 4000), rng.randint(1, 5)) for _ in range(n)]
+
+    @staticmethod
+    def _partition(rng, obs, k):
+        shards = [[] for _ in range(k)]
+        for item in obs:
+            shards[rng.randrange(k)].append(item)
+        return shards
+
+    def test_histogram_merge_order_independent_over_random_partitions(self):
+        rng = random.Random(7)
+        obs = self._observations(rng, 60)
+        whole = Histogram("whole")
+        for value, count in obs:
+            whole.observe(value, count=count)
+        for trial in range(10):
+            shards = []
+            for i, chunk in enumerate(self._partition(rng, obs, rng.randint(2, 6))):
+                h = Histogram(f"s{i}")
+                for value, count in chunk:
+                    h.observe(value, count=count)
+                shards.append(h)
+            rng.shuffle(shards)  # merge order must not matter
+            merged = Histogram("m")
+            for h in shards:
+                merged.merge(h.snapshot() if trial % 2 else h)  # both forms
+            assert merged.snapshot() == whole.snapshot()
+
+    def test_histogram_merge_associative(self):
+        rng = random.Random(11)
+        parts = []
+        for i, chunk in enumerate(self._partition(rng, self._observations(rng, 40), 3)):
+            h = Histogram(f"p{i}")
+            for value, count in chunk:
+                h.observe(value, count=count)
+            parts.append(h)
+        a, b, c = parts
+        left = Histogram("l")  # (a + b) + c
+        left.merge(a)
+        left.merge(b)
+        left.merge(c)
+        bc = Histogram("bc")  # a + (b + c)
+        bc.merge(b)
+        bc.merge(c)
+        right = Histogram("r")
+        right.merge(a)
+        right.merge(bc.snapshot())
+        assert left.snapshot() == right.snapshot()
+
+    def test_statgroup_rollup_order_independent_over_random_partitions(self):
+        rng = random.Random(13)
+        obs = self._observations(rng, 50)
+        whole = StatGroup("whole")
+        for value, count in obs:
+            whole.bump("refs", count)
+            whole.observe("lat", value, count=count)
+        for _trial in range(8):
+            groups = []
+            for i, chunk in enumerate(self._partition(rng, obs, rng.randint(2, 5))):
+                g = StatGroup(f"shard{i}")
+                for value, count in chunk:
+                    g.bump("refs", count)
+                    g.observe("lat", value, count=count)
+                groups.append(g)
+            rng.shuffle(groups)
+            merged = StatGroup("cell")
+            for g in groups:
+                merged.merge_payload(g.to_payload())
+            assert merged.snapshot() == whole.snapshot()
+            assert {k: h.snapshot() for k, h in merged.histograms().items()} == {
+                k: h.snapshot() for k, h in whole.histograms().items()
+            }
 
 
 class TestHistogramHookAggregation:

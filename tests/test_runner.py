@@ -7,6 +7,10 @@ time, never a cycle count or reference count.
 """
 
 import json
+import multiprocessing
+import os
+import signal
+import time
 
 import pytest
 
@@ -112,6 +116,69 @@ class TestResultStore:
         assert store.get("missing") is None
         (tmp_path / "bad.json").write_text("{not json")
         assert store.get("bad") is None
+
+    def test_get_unlinks_schema_mismatched_entries(self, tmp_path, capsys):
+        store = ResultStore(tmp_path, version="v-test")
+        path = store.path_for("old")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"schema": 0, "rows": []}))
+        assert store.get("old") is None
+        assert not path.exists()  # dropped, not just ignored
+        assert "dropped old.json" in capsys.readouterr().err
+        # Undecodable files are left alone (could be a foreign file).
+        (tmp_path / "bad.json").write_text("{not json")
+        assert store.get("bad") is None
+        assert (tmp_path / "bad.json").exists()
+
+
+def _orphan_writer(root: str, started) -> None:
+    """A fake store writer that dies between ``mkstemp`` and ``os.replace``."""
+    import tempfile
+
+    fd, _tmp = tempfile.mkstemp(dir=root, prefix=".deadbeefdeadbeefdead.", suffix=".tmp")
+    os.write(fd, b"{")  # torn write in flight
+    started.set()
+    time.sleep(60)  # killed long before this returns
+
+
+class TestStoreTmpHygiene:
+    def _kill_fake_writer(self, root) -> str:
+        context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+        started = context.Event()
+        proc = context.Process(target=_orphan_writer, args=(str(root), started), daemon=True)
+        proc.start()
+        assert started.wait(30.0)
+        os.kill(proc.pid, signal.SIGKILL)  # no cleanup handler runs
+        proc.join(30.0)
+        (tmp,) = [p for p in root.glob(".*.tmp")]
+        return str(tmp)
+
+    def test_stale_tmp_from_killed_writer_is_swept_on_init(self, tmp_path):
+        store = ResultStore(tmp_path, version="v")
+        store.put("live", {"schema": 1, "rows": []})
+        tmp = self._kill_fake_writer(tmp_path)
+        # Age-gate: the orphan is seconds old, so a fresh store leaves it
+        # (it could be a sibling worker's in-flight write).
+        ResultStore(tmp_path, version="v")
+        assert os.path.exists(tmp)
+        # Backdate it past the threshold: the next store construction
+        # reclaims it without touching committed entries.
+        os.utime(tmp, (time.time() - 7200, time.time() - 7200))
+        store2 = ResultStore(tmp_path, version="v")
+        assert not os.path.exists(tmp)
+        assert store2.keys() == ["live"]
+
+    def test_sweep_returns_count_and_keys_never_surface_tmp(self, tmp_path):
+        store = ResultStore(tmp_path, version="v")
+        store.put("k", {"schema": 1, "rows": []})
+        tmp = self._kill_fake_writer(tmp_path)
+        assert store.keys() == ["k"]  # in-flight scratch never enumerated
+        assert store.sweep_stale_tmp(max_age_s=3600.0) == 0  # too fresh
+        os.utime(tmp, (time.time() - 7200, time.time() - 7200))
+        assert store.sweep_stale_tmp(max_age_s=3600.0) == 1
+        assert store.keys() == ["k"] and len(store) == 1
 
 
 class TestManifest:

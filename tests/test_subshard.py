@@ -1,0 +1,262 @@
+"""Intra-cell sharding: partition contracts, merge parity, pool synthesis.
+
+The contract under test (``repro.runner.shard``): a shardable cell's
+``partition`` splits its workload stream into independently simulable
+sub-shards, and ``merge`` folds the sub-shard rows back into **exactly**
+the rows the unsharded cell emits — byte-identical canonical JSON, so
+``--jobs N --shard-cells on`` can never drift from the ``--jobs 1``
+unsharded reference the regression gate is anchored to.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import SHARDS, Shard
+from repro.experiments.report import canonical_rows_json, rows_digest
+from repro.runner import (
+    CampaignPool,
+    ResultStore,
+    TaskSpec,
+    campaign_tasks,
+    execute,
+    expand,
+    merge_rows,
+)
+from repro.runner.manifest import STATUS_ERROR, STATUS_OK
+from repro.runner.shard import SUBSHARD_SEP, shard_plan
+
+
+def _cell_spec(experiment, shard_name):
+    (spec,) = [t for t in campaign_tasks([f"{experiment}/{shard_name}"]) if t.shard == shard_name]
+    return spec
+
+
+#: Downsized kwargs per shardable cell: small enough for a unit test, but
+#: running the same code paths (and the same partition axes) as the full
+#: campaign cells.
+PARITY_CASES = [
+    ("fig11", "gap-rocket", "run_gap", {"machine": "rocket", "scale": 5}),
+    ("fig11", "rv8-rocket", "run_rv8", {"machine": "rocket", "scale": 0.25, "programs": ["aes", "norx"]}),
+    (
+        "fig12",
+        "redis-rocket",
+        "run_redis_rows",
+        {"machine": "rocket", "commands": ["GET", "SET", "INCR"], "requests": 6, "num_keys": 512},
+    ),
+    (
+        "fig12",
+        "functionbench-rocket",
+        "run_functionbench_rows",
+        {"machine": "rocket", "include_host": False, "functions": ["matmul", "pyaes"]},
+    ),
+    ("fig12", "image-chain", "run_chain_rows", {"machine": "boom", "sizes": [32, 64]}),
+    ("scalability", "consolidation", "run", {"domain_counts": [2, 4]}),
+]
+
+
+def _downsized(experiment, shard_name, func, kwargs):
+    base = _cell_spec(experiment, shard_name)
+    return TaskSpec(base.task_id, base.experiment, base.shard, base.module, func, kwargs)
+
+
+class TestPartitionContract:
+    def shardable_cells(self):
+        return [
+            (experiment, shard)
+            for experiment, shards in SHARDS.items()
+            for shard in shards
+            if shard.partition
+        ]
+
+    def test_every_declared_partition_expands_validly(self):
+        cells = self.shardable_cells()
+        assert len(cells) >= 7  # rv8, gap x2, functionbench x2, chain, redis x2, consolidation
+        for experiment, shard in cells:
+            assert shard.merge, f"{experiment}/{shard.name}: partition without merge"
+            spec = _cell_spec(experiment, shard.name)
+            subs = expand(spec)
+            assert subs is not None and len(subs) >= 2, spec.task_id
+            names = [s.subshard for s in subs]
+            assert len(set(names)) == len(names)  # unique
+            for sub in subs:
+                assert SUBSHARD_SEP not in sub.subshard
+                assert sub.task_id == f"{spec.task_id}{SUBSHARD_SEP}{sub.subshard}"
+                assert (sub.experiment, sub.shard, sub.module) == (
+                    spec.experiment,
+                    spec.shard,
+                    spec.module,
+                )
+                json.dumps(dict(sub.kwargs))  # kwargs must stay JSON-safe
+
+    def test_subshard_specs_do_not_expand_again(self):
+        spec = _cell_spec("fig11", "gap-rocket")
+        (first, *_rest) = expand(spec)
+        assert expand(first) is None
+
+    def test_unshardable_cells_expand_to_none(self):
+        spec = _cell_spec("fig02", "counts")
+        assert shard_plan(spec) is None and expand(spec) is None
+        unknown = TaskSpec("nope/x", "nope", "x", "repro.runner.tasks", "_selftest_rows", {})
+        assert expand(unknown) is None
+
+    def test_subshard_keys_are_distinct_cache_lines(self, tmp_path):
+        store = ResultStore(tmp_path, version="v")
+        spec = _cell_spec("scalability", "consolidation")
+        subs = expand(spec)
+        keys = {store.key_for(s) for s in subs}
+        assert len(keys) == len(subs)  # every sub-shard its own content address
+        assert store.key_for(spec) not in keys  # and none collides with the cell
+
+    def test_subshard_enters_identity_only_when_set(self):
+        whole = TaskSpec("a/b", "a", "b", "m", "f", {"x": 1})
+        sub = TaskSpec("a/b#s", "a", "b", "m", "f", {"x": 1}, subshard="s")
+        assert "subshard" not in whole.identity()
+        assert sub.identity()["subshard"] == "s"
+
+
+class TestMergeParity:
+    @pytest.mark.parametrize(
+        "experiment,shard_name,func,kwargs",
+        PARITY_CASES,
+        ids=[f"{e}-{s}" for e, s, _f, _k in PARITY_CASES],
+    )
+    def test_sharded_rows_byte_identical_to_unsharded(self, experiment, shard_name, func, kwargs):
+        spec = _downsized(experiment, shard_name, func, kwargs)
+        subs = expand(spec)
+        assert subs is not None and len(subs) >= 2
+        whole_rows, _ = execute(spec, telemetry="off")
+        parts = [execute(sub, telemetry="off")[0] for sub in subs]
+        merged = merge_rows(spec, parts)
+        assert canonical_rows_json(merged) == canonical_rows_json(whole_rows)
+
+    def test_merge_is_pure_over_json_round_tripped_parts(self):
+        # The pool merges rows loaded back from store JSON, not live
+        # objects — the fold must be exact over that round trip too.
+        spec = _downsized("scalability", "consolidation", "run", {"domain_counts": [2, 4]})
+        subs = expand(spec)
+        parts = [json.loads(json.dumps(execute(sub, telemetry="off")[0])) for sub in subs]
+        whole_rows, _ = execute(spec, telemetry="off")
+        assert rows_digest(merge_rows(spec, parts)) == rows_digest(whole_rows)
+
+
+class TestPoolSharding:
+    """Pool-level synthesis, exercised through the cheap selftest cell."""
+
+    @pytest.fixture
+    def selftest_shards(self, monkeypatch):
+        monkeypatch.setitem(
+            SHARDS,
+            "selftest",
+            (
+                Shard(
+                    "self",
+                    "_selftest_rows",
+                    {},
+                    partition="_selftest_partition",
+                    merge="_selftest_merge",
+                ),
+            ),
+        )
+
+    def _spec(self, **kwargs):
+        return TaskSpec(
+            "selftest/self", "selftest", "self", "repro.runner.tasks", "_selftest_rows", kwargs
+        )
+
+    def test_auto_mode_tracks_available_parallelism(self, tmp_path):
+        store = ResultStore(tmp_path, version="v")
+        assert CampaignPool(store, jobs=1).shard_cells is False
+        wide = CampaignPool(store, jobs=4)
+        assert wide.shard_cells == (wide.effective_jobs > 1)
+        assert CampaignPool(store, jobs=1, shard_cells=True).shard_cells is True
+        assert CampaignPool(store, jobs=4, shard_cells=False).shard_cells is False
+
+    def test_synthesized_cell_matches_unsharded(self, tmp_path, selftest_shards):
+        spec = self._spec(value=3, parts=4)
+        plain = CampaignPool(ResultStore(tmp_path / "a", version="v"), jobs=1, shard_cells=False).run([spec])
+        store = ResultStore(tmp_path / "b", version="v")
+        sharded = CampaignPool(store, jobs=1, shard_cells=True).run([spec])
+        cell = sharded.cells[0]
+        assert cell.status == STATUS_OK
+        assert (cell.worker, cell.subshards) == ("merge", 4)
+        assert sharded.shard_cells is True and plain.shard_cells is False
+        # One record per cell either way; the sharded manifest never leaks
+        # sub-shard rows into the cell list.
+        assert [c.task_id for c in sharded.cells] == [c.task_id for c in plain.cells]
+        # _selftest_rows ignores the partition-only kwargs, so rows differ
+        # here by construction (value vs value+i); what must hold is the
+        # merge shape and the store payload under the *cell's* key.
+        payload = store.get(cell.key)
+        assert payload is not None and payload["rows_sha256"] == cell.rows_sha256
+        assert len(payload["rows"]) == 4
+        assert payload["rows"] == [{"cell": "selftest", "value": 3 + i} for i in range(4)]
+
+    def test_pooled_and_inline_sharding_agree(self, tmp_path, selftest_shards):
+        spec = self._spec(value=1, parts=3)
+        digests = {}
+        for jobs in (1, 4):
+            store = ResultStore(tmp_path / f"jobs{jobs}", version="v")
+            manifest = CampaignPool(store, jobs=jobs, shard_cells=True, timeout_s=120.0).run([spec])
+            assert manifest.failed == []
+            cell = manifest.cells[0]
+            assert cell.subshards == 3 and cell.worker == "merge"
+            digests[jobs] = cell.rows_sha256
+        assert digests[1] == digests[4]
+
+    def test_resume_at_subshard_granularity(self, tmp_path, selftest_shards):
+        spec = self._spec(value=9, parts=3)
+        store = ResultStore(tmp_path, version="v")
+        pool = CampaignPool(store, jobs=1, shard_cells=True)
+        first = pool.run([spec])
+        cell = first.cells[0]
+        # Whole-cell entry present: resume is satisfied at cell granularity.
+        second = pool.run([spec], resume=True)
+        assert second.cells[0].status == "cached"
+        # Drop the cell entry (an interrupted merge): resume falls back to
+        # the sub-shard cache lines and re-synthesizes without re-running.
+        os.unlink(store.path_for(cell.key))
+        third = pool.run([spec], resume=True)
+        synthesized = third.cells[0]
+        assert synthesized.status == STATUS_OK
+        assert (synthesized.worker, synthesized.subshards) == ("merge", 3)
+        assert synthesized.rows_sha256 == cell.rows_sha256
+        assert synthesized.wall_s == 0.0  # cached subs cost nothing
+
+    def test_crashing_subshard_fails_the_cell_and_names_it(self, tmp_path, selftest_shards):
+        spec = self._spec(value=1, parts=3, crash_at=1)
+        manifest = CampaignPool(ResultStore(tmp_path, version="v"), jobs=1, shard_cells=True, retries=0).run([spec])
+        cell = manifest.cells[0]
+        assert cell.status == STATUS_ERROR and cell.failed
+        assert cell.subshards == 3 and cell.worker == "merge"
+        assert "selftest/self#part1" in cell.error
+        # The healthy sub-shards still completed; only the merge refused.
+        assert "1/3 sub-shards failed" in cell.error
+
+    def test_manifest_round_trips_subshard_fields(self, tmp_path, selftest_shards):
+        spec = self._spec(value=2, parts=3)
+        manifest = CampaignPool(ResultStore(tmp_path, version="v"), jobs=1, shard_cells=True).run([spec])
+        path = tmp_path / "m.json"
+        manifest.save(str(path))
+        from repro.runner import RunManifest
+
+        loaded = RunManifest.load(str(path))
+        assert loaded.shard_cells is True
+        assert loaded.cells[0].subshards == 3
+
+    def test_real_cell_through_pool_matches_unsharded(self, tmp_path):
+        spec = _downsized("scalability", "consolidation", "run", {"domain_counts": [2, 4]})
+        stores, digests, texts = {}, {}, {}
+        for mode in (False, True):
+            store = ResultStore(tmp_path / ("sharded" if mode else "plain"), version="v")
+            manifest = CampaignPool(store, jobs=1, shard_cells=mode).run([spec])
+            assert manifest.failed == []
+            cell = manifest.cells[0]
+            digests[mode] = cell.rows_sha256
+            texts[mode] = canonical_rows_json(store.get(cell.key)["rows"])
+            stores[mode] = store
+        assert digests[False] == digests[True]
+        assert texts[False] == texts[True]  # byte-for-byte, not just hash
+        # Sharded store additionally holds one entry per sub-shard.
+        assert len(stores[True]) == len(stores[False]) + 6
