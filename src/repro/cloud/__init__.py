@@ -1,0 +1,45 @@
+"""Tenant-scale cloud-node simulation (DESIGN.md §10).
+
+Models the deployment shape the paper motivates but never simulates at
+scale: one long-horizon confidential node running thousands of short-lived
+enclave lifecycles under trace-driven churn, with per-tenant-class SLO
+accounting and fragmentation/pressure tracking.
+
+Layers: :mod:`arrivals` (seeded Poisson + trace replay over tenant
+classes), :mod:`node` (the :class:`CloudNode` lifecycle driver),
+:mod:`slo` (per-class latency rollups), :mod:`adversarial` (worst-case
+tenant mixes).  The campaign cells live in
+:mod:`repro.experiments.cloud_node`.
+"""
+
+from .arrivals import (
+    CLASSES,
+    DEFAULT_MIX,
+    TenantClass,
+    TenantSpec,
+    poisson_trace,
+    replay_trace,
+    slice_trace,
+    spec_for,
+    trace_to_jsonable,
+)
+from .adversarial import adversarial_trace, frag_trace
+from .node import CloudNode
+from .slo import PHASES, SLOAccount
+
+__all__ = [
+    "CLASSES",
+    "DEFAULT_MIX",
+    "PHASES",
+    "CloudNode",
+    "SLOAccount",
+    "TenantClass",
+    "TenantSpec",
+    "adversarial_trace",
+    "frag_trace",
+    "poisson_trace",
+    "replay_trace",
+    "slice_trace",
+    "spec_for",
+    "trace_to_jsonable",
+]

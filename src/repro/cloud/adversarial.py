@@ -1,0 +1,90 @@
+"""Adversarial tenant mixes: worst-case churn for the segments-as-cache thesis.
+
+The consolidation argument is weakest where (a) physical memory shatters —
+huge and tiny allocations interleaved with departures until no contiguous
+run survives — and (b) the fast-segment pool thrashes — tenants that
+relabel their GMS every quantum, forcing cache-style install/evict churn
+instead of the steady-state hit path the figures advertise.  The
+generators here build deterministic traces from exactly those tenants:
+
+* *pins* — tiny, long-lived serverless tenants whose 4K-scale GMSs sit
+  between the holes and keep freed huge regions from coalescing;
+* *elephants* — short-lived batch tenants granting ~1 MiB contiguous
+  GMSs, repeatedly carving and returning the largest runs left;
+* *revokers* — cache tenants with ``relabel_churn`` + ``hint_hot_heap``
+  behaviors: extra GMSs from hints, then a segment install/evict per
+  quantum.
+
+:func:`frag_trace` interleaves pins and elephants only (the
+fragmentation-horizon axis); :func:`adversarial_trace` adds the revokers
+(the full tenant-mix adversary).  Arrival gaps are jittered mildly
+super-critical, so the live population — and with it fragmentation
+pressure — ramps over the horizon instead of settling; rejections that
+fall out of that are part of the measurement, not an error.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from .arrivals import TenantSpec, spec_for
+
+#: Heap pages of an elephant tenant (with text+stack, rounds to a 1 MiB GMS).
+ELEPHANT_HEAP_PAGES = 200
+
+#: Heap pages of a pin tenant (rounds to a 16-page / 64 KiB GMS).
+PIN_HEAP_PAGES = 8
+
+
+def _mix_trace(tenants: int, seed: int, roles: Sequence[str]) -> List[TenantSpec]:
+    """A deterministic trace cycling through *roles* with seeded jitter."""
+    rng = random.Random(seed)
+    specs: List[TenantSpec] = []
+    for tenant_id in range(tenants):
+        gap = rng.randrange(4, 11)
+        role = roles[tenant_id % len(roles)]
+        if role == "pin":
+            specs.append(
+                spec_for(
+                    tenant_id,
+                    "serverless",
+                    gap,
+                    rng.randrange(8, 15),
+                    seed=rng.randrange(1 << 32),
+                    heap_pages=PIN_HEAP_PAGES,
+                )
+            )
+        elif role == "elephant":
+            specs.append(
+                spec_for(
+                    tenant_id,
+                    "batch",
+                    gap,
+                    rng.randrange(1, 3),
+                    seed=rng.randrange(1 << 32),
+                    heap_pages=ELEPHANT_HEAP_PAGES,
+                )
+            )
+        else:  # revoker
+            specs.append(
+                spec_for(
+                    tenant_id,
+                    "cache",
+                    gap,
+                    rng.randrange(4, 9),
+                    seed=rng.randrange(1 << 32),
+                    behaviors=("relabel_churn", "hint_hot_heap"),
+                )
+            )
+    return specs
+
+
+def frag_trace(tenants: int, seed: int = 0) -> List[TenantSpec]:
+    """Interleaved huge/4K allocators only: the fragmentation adversary."""
+    return _mix_trace(tenants, seed, ("pin", "elephant"))
+
+
+def adversarial_trace(tenants: int, seed: int = 0) -> List[TenantSpec]:
+    """The full pin/elephant/revoker interleave of *tenants* arrivals."""
+    return _mix_trace(tenants, seed, ("pin", "elephant", "revoker", "pin"))

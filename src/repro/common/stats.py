@@ -115,6 +115,50 @@ class Histogram:
         # upper bound rather than a label no bucket has.
         return 0 if top == 0 else (1 << top) - 1
 
+    def percentiles(self, *ps: float) -> List[Optional[int]]:
+        """Bucket upper bounds for several percentiles in one bucket walk.
+
+        Same nearest-rank definition as :meth:`percentile`, evaluated for
+        every requested ``p`` during a single pass over the buckets — the
+        SLO rollup path asks for {p50, p95, p99} per histogram, and one walk
+        keeps that linear in the bucket count rather than in ``len(ps)``
+        passes.  Result order matches the argument order; an empty histogram
+        yields all None.
+        """
+        if not self.count:
+            return [None] * len(ps)
+        # Evaluate in ascending rank order so one forward walk serves all;
+        # scatter the answers back into argument positions at the end.
+        order = sorted(
+            range(len(ps)),
+            key=lambda i: min(self.count, max(1, math.ceil(ps[i] / 100.0 * self.count))),
+        )
+        results: List[Optional[int]] = [None] * len(ps)
+        seen = 0
+        top = 0
+        pending = 0  # next position in `order` still awaiting its bucket
+        for index, n in enumerate(self._buckets):
+            if n:
+                top = index
+            seen += n
+            while pending < len(order):
+                slot = order[pending]
+                rank = min(self.count, max(1, math.ceil(ps[slot] / 100.0 * self.count)))
+                if seen < rank:
+                    break
+                results[slot] = 0 if index == 0 else (1 << index) - 1
+                pending += 1
+            if pending == len(order):
+                return results
+        for slot in order[pending:]:  # same fallback as percentile()
+            results[slot] = 0 if top == 0 else (1 << top) - 1
+        return results
+
+    def summary(self) -> Dict[str, Optional[int]]:
+        """The tail-latency digest {count, p50, p95, p99, max} in one pass."""
+        p50, p95, p99 = self.percentiles(50, 95, 99)
+        return {"count": self.count, "p50": p50, "p95": p95, "p99": p99, "max": self.max}
+
     def merge(self, other: Union["Histogram", Mapping[str, object]]) -> None:
         """Fold another histogram (or its :meth:`snapshot`) into this one."""
         if isinstance(other, Histogram):
@@ -147,14 +191,15 @@ class Histogram:
 
     def snapshot(self) -> Dict[str, object]:
         """A JSON-safe dict: summary stats, labelled buckets, raw indices."""
+        p50, p99 = self.percentiles(50, 99)
         return {
             "count": self.count,
             "total": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
-            "p50": self.percentile(50),
-            "p99": self.percentile(99),
+            "p50": p50,
+            "p99": p99,
             "buckets": self.buckets(),
             "raw": {str(i): n for i, n in enumerate(self._buckets) if n},
         }

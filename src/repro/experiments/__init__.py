@@ -16,6 +16,7 @@ from typing import Dict, NamedTuple, Tuple
 
 from . import (
     ablations,
+    cloud_node,
     fig02_counts,
     fig03_preview,
     fig10_latency,
@@ -74,6 +75,7 @@ ALL_EXPERIMENTS = {
     "table4": table4_hw,
     "ablations": ablations,
     "smp": smp,
+    "cloud": cloud_node,
 }
 
 #: The campaign matrix: every experiment sliced into parallelizable cells.
@@ -141,6 +143,40 @@ SHARDS: Dict[str, Tuple[Shard, ...]] = {
         Shard("hart-scaling-pmpt", "run_hart_scaling", {"scheme": "pmpt"}),
         Shard("hart-scaling-hpmp", "run_hart_scaling", {"scheme": "hpmp"}),
         Shard("smoke-2hart", "run_smoke", {}),
+    ),
+    "cloud": (
+        Shard(
+            "churn-pmpt",
+            "run_cloud",
+            {"scheme": "pmpt", "profile": "poisson", "tenants": 1024, "slices": 8, "seed": 7,
+             "machine": "rocket", "mem_mib": 64, "frag_every": 64},
+            partition="partition_cloud",
+            merge="merge_cloud",
+        ),
+        Shard(
+            "churn-hpmp",
+            "run_cloud",
+            {"scheme": "hpmp", "profile": "poisson", "tenants": 1024, "slices": 8, "seed": 7,
+             "machine": "rocket", "mem_mib": 64, "frag_every": 64},
+            partition="partition_cloud",
+            merge="merge_cloud",
+        ),
+        Shard(
+            "frag-horizon",
+            "run_cloud",
+            {"scheme": "pmpt", "profile": "frag", "tenants": 1024, "slices": 8, "seed": 11,
+             "machine": "rocket", "mem_mib": 64, "frag_every": 32},
+            partition="partition_cloud",
+            merge="merge_cloud",
+        ),
+        Shard(
+            "tenant-mix-adversarial",
+            "run_cloud",
+            {"scheme": "hpmp", "profile": "adversarial", "tenants": 1024, "slices": 8, "seed": 13,
+             "machine": "rocket", "mem_mib": 64, "frag_every": 64},
+            partition="partition_cloud",
+            merge="merge_cloud",
+        ),
     ),
     "ablations": (
         Shard("table-depth", "run_table_depth", {}),

@@ -12,6 +12,7 @@ import random
 from typing import Dict, List, Optional, Set
 
 from ..common.errors import MemoryError_
+from ..common.stats import Histogram
 from ..common.types import PAGE_SIZE, MemRegion
 
 
@@ -248,6 +249,44 @@ class FrameAllocator:
         self._allocated |= wanted
         if self._tombstones * 2 > len(free):
             self._compact()
+
+    def fragmentation(self) -> Dict[str, object]:
+        """Free-span metrics of the pool's current state (lazy, read-only).
+
+        Walks the free frames in address order into maximal contiguous
+        spans and summarizes them: a span-length histogram, the
+        largest-contiguous gauge, and a fragmentation percentage (the share
+        of free memory *outside* the largest span — 0.0 when all free
+        memory is one run, approaching 100 as it shatters).  Pure
+        observation: neither the free-list order, the tombstones, nor the
+        scatter RNG is touched, so interleaving calls with allocations can
+        never perturb the allocation sequence.  Cost is O(free log free) —
+        meant for sync points, not the per-alloc hot path.
+        """
+        frames = sorted(self._pos)
+        spans = Histogram("free_span_frames")
+        run = 0
+        prev = None
+        for frame in frames:
+            if prev is not None and frame == prev + PAGE_SIZE:
+                run += 1
+            else:
+                if run:
+                    spans.observe(run)
+                run = 1
+            prev = frame
+        if run:
+            spans.observe(run)
+        free = len(frames)
+        largest = spans.max or 0
+        return {
+            "free_frames": free,
+            "allocated_frames": len(self._allocated),
+            "spans": spans.count,
+            "largest_free_frames": largest,
+            "frag_pct": round(100.0 * (1.0 - largest / free), 2) if free else 0.0,
+            "span_hist": spans.snapshot(),
+        }
 
     def owns(self, frame: int) -> Optional[bool]:
         """True if allocated, False if free, None if outside the region."""

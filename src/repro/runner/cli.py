@@ -104,6 +104,34 @@ def _headline(store: ResultStore, manifest: RunManifest) -> Dict[str, object]:
     return headline
 
 
+def _cell_scale(store: ResultStore, manifest: RunManifest) -> Dict[str, Dict[str, object]]:
+    """Tenant-scale gauges per cloud cell, read from its node rollup row.
+
+    Cells that simulate a churn horizon (``cloud/*``) emit one
+    ``kind="node"`` row with horizon-level gauges; surfacing them in the
+    summary lets a campaign diff catch capacity regressions (peak tenant
+    count, final fragmentation) without re-reading the stores.
+    """
+    scale: Dict[str, Dict[str, object]] = {}
+    for record in manifest.cells:
+        if not record.key:
+            continue
+        payload = store.get(record.key)
+        if not payload:
+            continue
+        for row in payload.get("rows", []):
+            if isinstance(row, dict) and row.get("kind") == "node":
+                scale[record.task_id] = {
+                    "lifecycles": row.get("lifecycles"),
+                    "peak_tenants": row.get("peak_tenants"),
+                    "rejected": row.get("rejected"),
+                    "final_frag_pct": row.get("final_frag_pct"),
+                    "peak_frag_pct": row.get("peak_frag_pct"),
+                }
+                break
+    return scale
+
+
 def bench_summary(manifest: RunManifest, store: ResultStore, generated_unix: Optional[float] = None) -> Dict[str, object]:
     """The ``BENCH_summary.json`` payload for one campaign."""
     telemetry = StatGroup("campaign")
@@ -152,6 +180,7 @@ def bench_summary(manifest: RunManifest, store: ResultStore, generated_unix: Opt
         # in the campaign wall_s instead.
         "subsharded_cells": {c.task_id: c.subshards for c in manifest.cells if c.subshards},
         "failed_cells": [c.task_id for c in manifest.failed],
+        "cell_scale": _cell_scale(store, manifest),
         "headline": _headline(store, manifest),
         "telemetry": telemetry.snapshot(),
     }

@@ -183,6 +183,56 @@ class TestPercentileNearestRank:
             assert h.percentile(p) == 7  # the 4-7 bucket bound
 
 
+class TestPercentilesOnePass:
+    """``percentiles(*ps)`` walks the buckets once and must agree exactly
+    with N independent ``percentile(p)`` calls — property-checked against
+    randomized streams and the sorted-sample reference."""
+
+    def test_matches_repeated_percentile_and_reference(self):
+        rng = random.Random(20260810)
+        for _trial in range(25):
+            n = rng.randint(1, 200)
+            values = [rng.randint(0, 5000) for _ in range(n)]
+            h = Histogram()
+            for v in values:
+                h.observe(v)
+            ps = (0, 1, 10, 25, 50, 75, 90, 95, 99, 100)
+            got = h.percentiles(*ps)
+            assert got == [h.percentile(p) for p in ps]
+            assert got == [TestPercentileNearestRank._reference(values, p) for p in ps]
+
+    def test_unsorted_percentile_order_preserved(self):
+        h = Histogram()
+        for v in (1, 10, 100, 1000):
+            h.observe(v)
+        # Results come back in argument order even though the walk
+        # satisfies ranks in ascending order internally.
+        assert h.percentiles(99, 1, 50) == [h.percentile(99), h.percentile(1), h.percentile(50)]
+
+    def test_empty_histogram_yields_nones(self):
+        h = Histogram()
+        assert h.percentiles(50, 99) == [None, None]
+        assert h.summary() == {"count": 0, "p50": None, "p95": None, "p99": None, "max": None}
+
+    def test_summary_is_the_tail_digest(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.observe(v)
+        digest = h.summary()
+        assert digest == {
+            "count": 100,
+            "p50": h.percentile(50),
+            "p95": h.percentile(95),
+            "p99": h.percentile(99),
+            "max": 100,
+        }
+
+    def test_duplicate_percentiles_agree(self):
+        h = Histogram()
+        h.observe(7, count=9)
+        assert h.percentiles(50, 50, 100) == [7, 7, 7]
+
+
 class TestMetricsSink:
     def test_rows_values_stats_round_trip(self, tmp_path):
         stats = StatGroup("engine")

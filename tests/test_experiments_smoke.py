@@ -23,7 +23,7 @@ from repro.experiments.report import format_table
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        assert len(ALL_EXPERIMENTS) == 15
+        assert len(ALL_EXPERIMENTS) == 16
         for module in ALL_EXPERIMENTS.values():
             assert hasattr(module, "main")
 

@@ -1,5 +1,7 @@
 """Unit tests for repro.mem.physical and repro.mem.allocator."""
 
+import random
+
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
@@ -131,3 +133,74 @@ class TestFrameAllocator:
     def test_unaligned_region_rejected(self):
         with pytest.raises(MemoryError_):
             FrameAllocator(MemRegion(BASE + 1, PAGE_SIZE))
+
+
+class TestFragmentationMetric:
+    """``FrameAllocator.fragmentation()`` is a lazy read-only probe: span
+    metrics must be right, and computing them must never perturb the
+    allocation sequence."""
+
+    def region(self, mib=1):
+        return MemRegion(BASE, mib * MIB)
+
+    def test_pristine_pool_is_one_span(self):
+        alloc = FrameAllocator(self.region())
+        frag = alloc.fragmentation()
+        assert frag["free_frames"] == alloc.free_frames
+        assert frag["allocated_frames"] == 0
+        assert frag["spans"] == 1
+        assert frag["largest_free_frames"] == alloc.free_frames
+        assert frag["frag_pct"] == 0.0
+
+    def test_holes_split_the_span(self):
+        alloc = FrameAllocator(self.region())
+        frames = [alloc.alloc() for _ in range(9)]
+        # Hold frames 3 and 8; the rest go back: spans of 3 ([0-2]) and
+        # 4 ([4-7]) ahead of the untouched tail from frame 9 on.
+        for f in frames[:3] + frames[4:8]:
+            alloc.free(f)
+        frag = alloc.fragmentation()
+        assert frag["allocated_frames"] == 2
+        assert frag["spans"] == 3
+        assert frag["largest_free_frames"] == alloc.free_frames - 3 - 4
+        assert 0.0 < frag["frag_pct"] < 100.0
+
+    def test_exhausted_pool(self):
+        alloc = FrameAllocator(MemRegion(BASE, 2 * PAGE_SIZE))
+        alloc.alloc()
+        alloc.alloc()
+        frag = alloc.fragmentation()
+        assert frag["free_frames"] == 0
+        assert frag["spans"] == 0
+        assert frag["largest_free_frames"] == 0
+        assert frag["frag_pct"] == 0.0
+
+    def test_span_histogram_counts_spans(self):
+        alloc = FrameAllocator(self.region())
+        frames = [alloc.alloc() for _ in range(alloc.free_frames)]
+        for f in frames[0:2] + frames[5:6] + frames[10:14]:
+            alloc.free(f)
+        frag = alloc.fragmentation()
+        assert frag["spans"] == 3
+        assert frag["span_hist"]["count"] == 3
+        assert frag["largest_free_frames"] == 4
+
+    @pytest.mark.parametrize("scatter", [False, True])
+    def test_probe_never_perturbs_the_allocation_sequence(self, scatter):
+        """Equivalence: an allocator probed between every operation hands
+        out exactly the same frames as an unprobed twin."""
+        probed = FrameAllocator(self.region(), scatter=scatter, seed=11)
+        plain = FrameAllocator(self.region(), scatter=scatter, seed=11)
+        rng = random.Random(42)
+        held_p, held_q = [], []
+        for step in range(200):
+            probed.fragmentation()  # the probe under test
+            if held_p and rng.random() < 0.4:
+                i = rng.randrange(len(held_p))
+                probed.free(held_p.pop(i))
+                plain.free(held_q.pop(i))
+            else:
+                held_p.append(probed.alloc())
+                held_q.append(plain.alloc())
+            assert held_p == held_q, step
+        assert probed.fragmentation() == plain.fragmentation()

@@ -53,6 +53,20 @@ PARITY_CASES = [
     ),
     ("fig12", "image-chain", "run_chain_rows", {"machine": "boom", "sizes": [32, 64]}),
     ("scalability", "consolidation", "run", {"domain_counts": [2, 4]}),
+    (
+        "cloud",
+        "churn-pmpt",
+        "run_cloud",
+        {"scheme": "pmpt", "profile": "poisson", "tenants": 48, "slices": 3, "seed": 7,
+         "machine": "rocket", "mem_mib": 64, "frag_every": 8},
+    ),
+    (
+        "cloud",
+        "tenant-mix-adversarial",
+        "run_cloud",
+        {"scheme": "hpmp", "profile": "adversarial", "tenants": 36, "slices": 3, "seed": 13,
+         "machine": "rocket", "mem_mib": 64, "frag_every": 8},
+    ),
 ]
 
 
@@ -72,7 +86,7 @@ class TestPartitionContract:
 
     def test_every_declared_partition_expands_validly(self):
         cells = self.shardable_cells()
-        assert len(cells) >= 7  # rv8, gap x2, functionbench x2, chain, redis x2, consolidation
+        assert len(cells) >= 13  # rv8, gap x2, functionbench x2, chain, redis x2, consolidation, cloud x4
         for experiment, shard in cells:
             assert shard.merge, f"{experiment}/{shard.name}: partition without merge"
             spec = _cell_spec(experiment, shard.name)

@@ -127,3 +127,79 @@ class TestScheduler:
                 scheduler.add(d.domain_id, counting_work(3))
             results[count] = scheduler.run().switch_cycles
         assert results[8] > results[2]
+
+
+class TestSchedulerChurn:
+    """Tenant-churn safety: retire/reap under a live schedule (the cloud
+    node's teardown path) plus mid-run queue growth."""
+
+    def test_retire_mid_quantum_stops_the_victim(self):
+        _, _, scheduler, domains = make_node(num_domains=2)
+        victim = domains[1].domain_id
+        victim_task = scheduler.add(victim, counting_work(50))
+        fired = [False]
+
+        def killer():
+            if fired[0]:
+                return 0
+            fired[0] = True
+            assert scheduler.retire(victim) == 1
+            return 10
+
+        scheduler.add(domains[0].domain_id, killer)
+        result = scheduler.run()
+        assert victim_task.done
+        # The victim ran at most one quantum before the killer's first.
+        assert victim_task.quanta <= 1
+        assert result.quanta <= 3
+
+    def test_retire_is_idempotent_and_scoped(self):
+        _, _, scheduler, domains = make_node(num_domains=2)
+        a, b = domains[0].domain_id, domains[1].domain_id
+        scheduler.add(a, counting_work(2))
+        scheduler.add(a, counting_work(2))
+        survivor = scheduler.add(b, counting_work(1))
+        assert scheduler.retire(a) == 2  # both of a's tasks, nobody else's
+        assert scheduler.retire(a) == 0  # idempotent
+        assert not survivor.done
+        scheduler.run()
+        assert survivor.done
+
+    def test_reap_drops_done_and_preserves_live_order(self):
+        _, _, scheduler, domains = make_node(num_domains=3)
+        first = scheduler.add(domains[0].domain_id, counting_work(1), "first")
+        mid = scheduler.add(domains[1].domain_id, counting_work(1), "mid")
+        last = scheduler.add(domains[2].domain_id, counting_work(1), "last")
+        scheduler.retire(mid.domain_id)
+        assert scheduler.reap() == [mid]
+        assert scheduler.reap() == []  # nothing left to collect
+        assert [t.name for t in scheduler._tasks] == ["first", "last"]
+        scheduler.run()
+        assert first.done and last.done
+        assert {t.name for t in scheduler.reap()} == {"first", "last"}
+
+    def test_empty_queue_after_reap_still_rejected(self):
+        _, _, scheduler, domains = make_node(num_domains=1)
+        task = scheduler.add(domains[0].domain_id, counting_work(1))
+        scheduler.run()
+        assert scheduler.reap() == [task]
+        assert scheduler.pending == 0
+        with pytest.raises(MonitorError):
+            scheduler.run()
+
+    def test_add_during_run_is_scheduled(self):
+        _, _, scheduler, domains = make_node(num_domains=2)
+        late = []
+        fired = [False]
+
+        def spawner():
+            if fired[0]:
+                return 0
+            fired[0] = True
+            late.append(scheduler.add(domains[1].domain_id, counting_work(3), "late"))
+            return 10
+
+        scheduler.add(domains[0].domain_id, spawner, "spawner")
+        result = scheduler.run()
+        assert late and late[0].done
+        assert result.per_task["late"] == 3 * 100
