@@ -68,6 +68,12 @@ class Cache:
         self._misses = 0
         self._evictions = 0
         self.stats = StatGroup(params.name, sync=self._publish_stats)
+        # Bumped on every mutation that can change which line is MRU in some
+        # set (fills, promotions, evictions, invalidations, flushes).  The
+        # vector evaluator keys its MRU snapshots on this; MRU re-touches
+        # (``cset[0]`` hits, ``mru_hits``) leave it alone so the dominant
+        # hit path stays a single compare-and-add.
+        self.generation = 0
 
     def _publish_stats(self) -> None:
         """Sync point: fold the pending hot-path deltas into the StatGroup."""
@@ -124,11 +130,13 @@ class Cache:
                 del cset[index]
                 cset.insert(0, line)
                 self._hits += 1
+                self.generation += 1
                 return True
         self._misses += 1
         if len(cset) >= self._ways:
             self._evict(cset)
         cset.insert(0, line)
+        self.generation += 1
         return False
 
     def mru_hits(self, count: int) -> None:
@@ -141,6 +149,14 @@ class Cache:
         by issuing the first reference of each line through ``access``.
         """
         self._hits += count
+
+    def mru_lines(self) -> List[int]:
+        """Per-set MRU line addresses (``-1`` for an empty set).
+
+        A read-only snapshot for the vector evaluator's hit mask; valid
+        while :attr:`generation` is unchanged.
+        """
+        return [cset[0] if cset else -1 for cset in self._sets]
 
     def probe(self, paddr: int, update_lru: bool = True) -> bool:
         """Return True (hit) if the line holding *paddr* is resident.
@@ -162,6 +178,7 @@ class Cache:
         if index:
             del cset[index]
             cset.insert(0, line)
+            self.generation += 1
         self._hits += 1
         return True
 
@@ -177,10 +194,12 @@ class Cache:
             if len(cset) >= self._ways:
                 victim = self._evict(cset)
             cset.insert(0, line)
+            self.generation += 1
             return victim
         if index:
             del cset[index]
             cset.insert(0, line)
+            self.generation += 1
         return None
 
     def invalidate(self, paddr: int) -> bool:
@@ -191,12 +210,14 @@ class Cache:
             cset.remove(line)
         except ValueError:
             return False
+        self.generation += 1
         return True
 
     def flush(self) -> None:
         """Empty the cache."""
         for cset in self._sets:
             cset.clear()
+        self.generation += 1
 
     def resident_lines(self) -> int:
         """Number of lines currently resident (for tests)."""

@@ -91,7 +91,12 @@ def _pool_context():
 
 
 def _run_cell(
-    spec: TaskSpec, store_root: str, version: str, telemetry: str = "light", block: bool = True
+    spec: TaskSpec,
+    store_root: str,
+    version: str,
+    telemetry: str = "light",
+    block: bool = True,
+    vector: bool = True,
 ) -> Dict[str, object]:
     """Execute one cell and persist its payload; returns the manifest facts.
 
@@ -101,7 +106,7 @@ def _run_cell(
     """
     start = time.perf_counter()
     store = ResultStore(store_root, version=version)
-    rows, stats = execute(spec, telemetry=telemetry, block=block)
+    rows, stats = execute(spec, telemetry=telemetry, block=block, vector=vector)
     payload = store.build_payload(spec, rows, stats)
     key = store.key_for(spec)
     store.put(key, payload)
@@ -117,10 +122,12 @@ def _run_cell(
     }
 
 
-def _worker_entry(spec: TaskSpec, store_root: str, version: str, telemetry: str, block: bool, conn) -> None:
+def _worker_entry(
+    spec: TaskSpec, store_root: str, version: str, telemetry: str, block: bool, vector: bool, conn
+) -> None:
     """Worker process body: run the cell, report over the pipe, exit."""
     try:
-        message = _run_cell(spec, store_root, version, telemetry, block)
+        message = _run_cell(spec, store_root, version, telemetry, block, vector)
     except BaseException:
         message = {
             "status": STATUS_ERROR,
@@ -147,6 +154,7 @@ class CampaignPool:
         progress: Optional[ProgressFn] = None,
         telemetry: str = "light",
         block: bool = True,
+        vector: bool = True,
         shard_cells: Optional[bool] = None,
     ):
         if telemetry not in TELEMETRY_LEVELS:
@@ -163,6 +171,7 @@ class CampaignPool:
         self.progress = progress
         self.telemetry = telemetry
         self.block = bool(block)
+        self.vector = bool(vector)
         # None = auto: shard heavy cells exactly when there is parallelism
         # to feed.  ``--jobs 1`` therefore stays the unsharded reference the
         # determinism gate measures sharded runs against.
@@ -242,6 +251,7 @@ class CampaignPool:
             effective_jobs=self.effective_jobs,
             telemetry=self.telemetry,
             block=self.block,
+            vector=self.vector,
             shard_cells=self.shard_cells,
             resume=resume,
             timeout_s=self.timeout_s,
@@ -395,7 +405,9 @@ class CampaignPool:
             spec, attempt = pending.popleft()
             start = time.perf_counter()
             try:
-                message = _run_cell(spec, str(self.store.root), self.store.version, self.telemetry, self.block)
+                message = _run_cell(
+                    spec, str(self.store.root), self.store.version, self.telemetry, self.block, self.vector
+                )
                 message["worker"] = "inline"
             except BaseException:
                 message = {
@@ -442,7 +454,7 @@ class CampaignPool:
         receiver, sender = context.Pipe(duplex=False)
         process = context.Process(
             target=_worker_entry,
-            args=(spec, str(self.store.root), self.store.version, self.telemetry, self.block, sender),
+            args=(spec, str(self.store.root), self.store.version, self.telemetry, self.block, self.vector, sender),
             daemon=True,
             name=f"repro-runner-{spec.task_id}",
         )
